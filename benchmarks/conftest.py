@@ -1,0 +1,39 @@
+"""Shared fixtures for the reproduction bench suite.
+
+Every bench regenerates one of the paper's tables/figures at the scale
+of ``BenchScale.from_env()`` (set ``REPRO_FULL=1`` for all Table 3
+groups, ``REPRO_CYCLES=N`` for longer runs), prints the reproduction
+table next to the paper's reference values, and writes it to
+``reports/``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).parent.parent
+_SRC = str(_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.harness.report import format_table, save_report  # noqa: E402
+from repro.harness.runner import BenchScale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return BenchScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """report(name, rows_or_text, title) -> prints and persists."""
+
+    def _report(name: str, rows, title: str) -> str:
+        text = rows if isinstance(rows, str) else format_table(rows, title)
+        print("\n" + text)
+        save_report(name, text, directory=str(_ROOT / "reports"))
+        return text
+
+    return _report

@@ -1,0 +1,21 @@
+"""Ablation — adaptation interval size of Optimization 1.
+
+Paper (Section 2.2): 10K cycles was chosen; a too-large interval is not
+adaptive enough, a too-small one is over-sensitive to workload jitter.
+The scaled sweep shows the trade-off around the scaled default (2K).
+"""
+
+from repro.harness import experiments
+
+
+def test_ablation_interval_size(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        experiments.ablation_interval_size, args=(scale,), rounds=1, iterations=1
+    )
+    report("ablation_interval_size", rows, "Ablation — opt1 adaptation interval")
+
+    for r in rows:
+        assert 0 < r["norm_iq_avf"] <= 1.2
+        assert 0 < r["norm_ipc"] <= 1.2
+    # All interval sizes must still deliver an AVF reduction on MEM.
+    assert all(r["norm_iq_avf"] < 1.0 for r in rows if r["category"] == "MEM")

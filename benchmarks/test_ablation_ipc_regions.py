@@ -1,0 +1,32 @@
+"""Ablation — number of IPC regions in Optimization 1.
+
+Paper (Section 2.2): "our experimental results show that 4 regions
+outperform other number of regions".  This bench sweeps 2/4/8 regions
+and reports the AVF/IPC trade-off of VISA+opt1 under each.
+"""
+
+from repro.harness import experiments
+
+
+def test_ablation_ipc_regions(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        experiments.ablation_ipc_regions, args=(scale,), rounds=1, iterations=1
+    )
+    report("ablation_ipc_regions", rows, "Ablation — opt1 IPC region count (2/4/8)")
+
+    for r in rows:
+        assert 0 < r["norm_iq_avf"] <= 1.2
+        assert 0 < r["norm_ipc"] <= 1.2
+
+    # More regions → finer partition → tighter caps at low IPC → more
+    # AVF reduction on MEM but a bigger throughput hit.  The paper's
+    # 4-region choice sits between the extremes.
+    by = {(r["regions"], r["category"]): r for r in rows}
+    assert by[(8, "MEM")]["norm_iq_avf"] <= by[(2, "MEM")]["norm_iq_avf"] + 0.05
+    assert by[(8, "MEM")]["norm_ipc"] <= by[(2, "MEM")]["norm_ipc"] + 0.05
+    four = by[(4, "MEM")]
+    assert (
+        by[(8, "MEM")]["norm_iq_avf"] - 0.12
+        <= four["norm_iq_avf"]
+        <= by[(2, "MEM")]["norm_iq_avf"] + 0.12
+    )

@@ -1,0 +1,24 @@
+"""Ablation — DVM trigger threshold placement.
+
+Paper (Section 5.1): the trigger threshold is set to 90% of the
+reliability target; too close and the response arrives too late, too
+far and it fires prematurely at a performance cost.
+"""
+
+from repro.harness import experiments
+
+
+def test_ablation_trigger_fraction(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        experiments.ablation_trigger_fraction, args=(scale,), rounds=1, iterations=1
+    )
+    report("ablation_trigger_fraction", rows, "Ablation — DVM trigger fraction (80/90/95%)")
+
+    for r in rows:
+        assert 0.0 <= r["pve"] <= 1.0
+
+    import numpy as np
+    # An earlier (lower) trigger can only help PVE, at a perf cost.
+    pve_early = np.mean([r["pve"] for r in rows if r["trigger_fraction"] == 0.8])
+    pve_late = np.mean([r["pve"] for r in rows if r["trigger_fraction"] == 0.95])
+    assert pve_early <= pve_late + 0.1

@@ -1,0 +1,43 @@
+"""Workload characterization — the CPU/MEM separation behind Table 3.
+
+Not a figure of the paper, but the property every figure rests on:
+computation-intensive personalities must be fast and L2-quiet,
+memory-intensive personalities slow and L2-bound, when run alone on
+the Table 2 machine.
+"""
+
+import numpy as np
+
+from repro.harness import experiments
+
+
+def test_characterization(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        experiments.characterize_benchmarks, args=(scale,), rounds=1, iterations=1
+    )
+    report("characterization", rows, "Single-thread benchmark characterization")
+
+    cpu = [r for r in rows if r["category"] == "cpu"]
+    mem = [r for r in rows if r["category"] == "mem"]
+    assert cpu and mem
+
+    # Category separation: CPU codes are fast and L1-resident, MEM
+    # codes slow and miss-bound.  (L2 *capacity* pressure is a 4-thread
+    # effect — the mix-level experiments assert it — so single-thread
+    # separation shows in IPC and L1D miss rate.)
+    assert np.mean([r["ipc"] for r in cpu]) > 2 * np.mean([r["ipc"] for r in mem])
+    assert (
+        np.mean([r["l1d_miss"] for r in mem])
+        > 3 * np.mean([r["l1d_miss"] for r in cpu])
+    )
+
+    # mcf is among the most memory-bound personalities.
+    by_name = {r["benchmark"]: r for r in rows}
+    slowest3 = sorted((r["ipc"], r["benchmark"]) for r in mem)[:3]
+    assert any(n == "mcf" for _, n in slowest3) or by_name["mcf"]["l1d_miss"] > 0.3
+
+    # Every benchmark commits work and predicts branches sanely.
+    for r in rows:
+        assert r["ipc"] > 0.05, r
+        assert r["bp_acc"] > 0.6, r
+        assert 0.3 < r["ace_frac"] < 0.95, r

@@ -1,0 +1,23 @@
+"""Extension — IQ size sensitivity.
+
+The paper fixes the IQ at 96 entries (Table 2).  This extension sweeps
+48/96/192 entries: the IQ's exposure and the value of the mitigations
+should move with its capacity.
+"""
+
+from repro.harness import experiments
+
+
+def test_ext_iq_size(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        experiments.ext_iq_size_sensitivity, args=(scale,), rounds=1, iterations=1
+    )
+    report("ext_iq_size", rows, "Extension — IQ size sensitivity (48/96/192)")
+
+    by = {(r["iq_size"], r["category"]): r for r in rows}
+    for cat in ("CPU", "MIX", "MEM"):
+        # A bigger IQ never hurts baseline throughput.
+        assert by[(192, cat)]["base_ipc"] >= by[(48, cat)]["base_ipc"] - 0.15
+        # The optimized configuration keeps its AVF benefit at every size.
+        for size in (48, 96, 192):
+            assert by[(size, cat)]["opt2_norm_avf"] < 1.1

@@ -1,0 +1,39 @@
+"""Figure 8 — DVM efficiency and its performance impact (ICOUNT).
+
+Paper: with a 0.5·MaxAVF target, PVE falls from 72/79/55% (CPU/MIX/MEM
+baselines) to ~1% with DVM; performance overhead grows as the target
+tightens; harmonic-IPC degradation exceeds throughput degradation on
+MIX workloads (fairness bias toward CPU-bound threads).
+"""
+
+from repro.harness import experiments
+
+
+def test_fig8_dvm_icount(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        experiments.fig8_dvm, args=(scale,), rounds=1, iterations=1
+    )
+    report("fig8_dvm_icount", rows, "Figure 8 — DVM sweep, fetch policy ICOUNT")
+
+    by = {(r["category"], r["threshold"]): r for r in rows}
+
+    for cat in ("CPU", "MIX", "MEM"):
+        # Baseline PVE grows as the target tightens...
+        pves = [by[(cat, f)]["pve_baseline"] for f in (0.7, 0.5, 0.3)]
+        assert pves[0] <= pves[1] + 1e-9 <= pves[2] + 2e-9, (cat, pves)
+        # ...and DVM eliminates the majority of emergencies at the
+        # paper's headline 0.5·MaxAVF target.
+        r = by[(cat, 0.5)]
+        assert r["pve_dvm"] < r["pve_baseline"] - 0.15, r
+        assert r["pve_dvm"] <= 0.5, r
+
+    # Performance overhead grows with the reliability demand.
+    for cat in ("CPU", "MIX", "MEM"):
+        loose = by[(cat, 0.7)]["throughput_degradation"]
+        tight = by[(cat, 0.3)]["throughput_degradation"]
+        assert tight >= loose - 0.02, (cat, loose, tight)
+
+    # Fairness: MIX loses more harmonic IPC than throughput (paper's
+    # CPU-bias observation).
+    mix = by[("MIX", 0.5)]
+    assert mix["harmonic_degradation"] >= mix["throughput_degradation"] - 0.02

@@ -1,0 +1,25 @@
+"""Figure 9 — DVM with FLUSH as the baseline fetch policy.
+
+Paper: FLUSH alone is the best fetch policy for soft-error mitigation,
+but DVM still works correctly when FLUSH is active concurrently —
+emergencies are eliminated across the threshold sweep.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig9_dvm_flush(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        experiments.fig9_dvm_flush, args=(scale,), rounds=1, iterations=1
+    )
+    report("fig9_dvm_flush", rows, "Figure 9 — DVM sweep, fetch policy FLUSH")
+
+    by = {(r["category"], r["threshold"]): r for r in rows}
+    for cat in ("CPU", "MIX", "MEM"):
+        r = by[(cat, 0.5)]
+        assert r["pve_dvm"] <= r["pve_baseline"] + 1e-9, r
+        assert r["pve_dvm"] <= 0.55, r
+
+    # DVM on top of FLUSH must not collapse performance at mild targets.
+    for cat in ("CPU", "MIX", "MEM"):
+        assert by[(cat, 0.7)]["throughput_degradation"] < 0.5

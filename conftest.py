@@ -1,0 +1,11 @@
+"""Make the src layout importable for pytest even when the package is
+not installed (this offline environment lacks `wheel`, so
+`pip install -e .` may be unavailable; `python setup.py develop` is the
+supported editable install)."""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

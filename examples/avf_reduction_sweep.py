@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Reproduce the Figure 5 story on one workload of each category.
+
+For CPU-A, MIX-A and MEM-A, runs the baseline, VISA, VISA+opt1
+(dynamic IQ resource allocation, Figure 3) and VISA+opt2 (L2-miss
+sensitive allocation, Figure 4), and prints normalized IQ AVF and
+throughput IPC — the shape of the paper's headline result: large AVF
+reductions at (nearly) no throughput cost once opt2's FLUSH trigger
+handles the memory-bound mixes.
+
+Usage::
+
+    python examples/avf_reduction_sweep.py [cycles]
+"""
+
+import sys
+
+from repro.harness.runner import BenchScale, run_sim
+
+
+def main() -> None:
+    cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 14_000
+    scale = BenchScale(max_cycles=cycles)
+
+    configs = [
+        ("baseline", dict(scheduler="oldest")),
+        ("VISA", dict(scheduler="visa")),
+        ("VISA+opt1", dict(scheduler="visa", dispatch="opt1")),
+        ("VISA+opt2", dict(scheduler="visa", dispatch="opt2")),
+    ]
+
+    print(f"{'mix':8s} {'config':10s} {'IQ AVF':>8s} {'norm':>6s} {'IPC':>6s} {'norm':>6s}")
+    for mix in ("CPU-A", "MIX-A", "MEM-A"):
+        base = None
+        for name, kw in configs:
+            res = run_sim(mix, scale, **kw)
+            if base is None:
+                base = res
+            print(
+                f"{mix:8s} {name:10s} {res.iq_avf:8.3f} "
+                f"{res.iq_avf / base.iq_avf:6.2f} {res.ipc:6.2f} "
+                f"{res.ipc / base.ipc:6.2f}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel`
+package (this environment is offline; PEP 660 editable installs need
+wheel).  All metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

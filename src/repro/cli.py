@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``         simulate one workload mix under a chosen configuration
+``profile``     offline per-PC vulnerability profiling of one benchmark
+``reproduce``   regenerate one of the paper's tables/figures
+``list``        enumerate benchmarks, mixes, policies and experiments
+
+Examples::
+
+    python -m repro run --mix MEM-A --scheduler visa --dispatch opt2
+    python -m repro run --mix CPU-A --dvm 0.5 --cycles 24000
+    python -m repro profile mesa --instructions 50000
+    python -m repro reproduce fig5
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments
+from repro.harness.report import format_table, save_report
+from repro.harness.runner import BenchScale, mix_harmonic_ipc, run_sim
+from repro.isa.generator import generate_program
+from repro.isa.personalities import PERSONALITIES
+from repro.reliability.avf import Structure
+from repro.reliability.profiling import profile_program
+from repro.workloads import MIXES
+
+_EXPERIMENTS = {
+    "fig1": (experiments.fig1_structure_avf, "Figure 1 — structure AVF per category"),
+    "fig5": (experiments.fig5_visa_configs, "Figure 5 — VISA configs (ICOUNT)"),
+    "fig6": (experiments.fig6_fetch_policies, "Figure 6 — VISA configs under fetch policies"),
+    "fig8": (experiments.fig8_dvm, "Figure 8 — DVM sweep (ICOUNT)"),
+    "fig9": (experiments.fig9_dvm_flush, "Figure 9 — DVM sweep (FLUSH)"),
+    "fig10": (experiments.fig10_comparison, "Figure 10 — PVE of all schemes"),
+    "table1": (experiments.table1_pc_accuracy, "Table 1 — PC classification accuracy"),
+}
+
+
+def _scale_from_args(args) -> BenchScale:
+    scale = BenchScale.from_env()
+    overrides = {}
+    if getattr(args, "cycles", None):
+        overrides["max_cycles"] = args.cycles
+        if args.cycles <= scale.warmup_cycles:
+            overrides["warmup_cycles"] = args.cycles // 5
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "full", False):
+        overrides["groups"] = ("A", "B", "C")
+    if overrides:
+        import dataclasses
+
+        scale = dataclasses.replace(scale, **overrides)
+    return scale
+
+
+def cmd_run(args) -> int:
+    scale = _scale_from_args(args)
+    res = run_sim(
+        args.mix,
+        scale,
+        fetch_policy=args.fetch_policy,
+        scheduler=args.scheduler,
+        dispatch=args.dispatch,
+        dvm_target=_dvm_target(args, scale),
+        profiled=not args.no_profile,
+    )
+    mix = MIXES[args.mix]
+    print(f"mix {args.mix} ({', '.join(mix.benchmarks)})")
+    print(f"  cycles                {res.cycles}  (warm-up {res.warmup_cycles})")
+    print(f"  committed             {res.committed}")
+    print(f"  throughput IPC        {res.ipc:.3f}")
+    print(
+        "  per-thread IPC        "
+        + ", ".join(f"{b}={x:.2f}" for b, x in zip(mix.benchmarks, res.per_thread_ipc))
+    )
+    print(f"  harmonic IPC          {mix_harmonic_ipc(args.mix, scale, res, args.fetch_policy):.3f}")
+    print(f"  IQ AVF                {res.iq_avf:.3f}  (max interval {res.max_iq_avf:.3f})")
+    for s in Structure:
+        print(f"    {s.name:3s} AVF           {res.overall_avf[s]:.3f}")
+    print(f"  branch accuracy       {res.bp_accuracy:.1%}")
+    print(f"  L1D miss rate         {res.l1d_miss_rate:.1%}")
+    print(f"  L2 misses             {res.l2_misses}")
+    print(f"  squashed (wrong path) {res.squashed}")
+    print(f"  ACE fraction          {res.ace_fraction:.1%}")
+    if args.dvm is not None:
+        base = run_sim(args.mix, scale, fetch_policy=args.fetch_policy)
+        target = args.dvm * base.max_iq_avf
+        print(f"  PVE @ {args.dvm}*MaxAVF     {res.pve(target):.1%} (baseline {base.pve(target):.1%})")
+    return 0
+
+
+def _dvm_target(args, scale) -> float | None:
+    if getattr(args, "dvm", None) is None:
+        return None
+    base = run_sim(args.mix, scale, fetch_policy=args.fetch_policy)
+    return args.dvm * base.max_online_estimate
+
+
+def cmd_profile(args) -> int:
+    if args.benchmark not in PERSONALITIES:
+        print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
+        return 2
+    program = generate_program(args.benchmark, seed=args.seed)
+    prof = profile_program(
+        program, n_instructions=args.instructions, window=args.window
+    )
+    ref = PERSONALITIES[args.benchmark].ref_pc_accuracy
+    print(f"benchmark {args.benchmark}")
+    print(f"  static instructions   {program.num_static_insts}")
+    print(f"  profiled instances    {args.instructions}")
+    print(f"  PC-classification acc {prof.accuracy:.1%}  (paper: {ref:.1%})")
+    print(f"  ACE instance fraction {prof.ace_fraction:.1%}")
+    print(f"  static PCs tagged ACE {prof.static_ace_fraction:.1%}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    if args.experiment not in _EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; one of {sorted(_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    func, title = _EXPERIMENTS[args.experiment]
+    scale = _scale_from_args(args)
+    rows = func(scale)
+    if isinstance(rows, dict):  # fig2-style payloads
+        rows = [rows]
+    text = format_table(rows, title)
+    print(text)
+    if args.save:
+        path = save_report(args.experiment, text)
+        print(f"saved to {path}")
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("benchmarks (Table 1 personalities):")
+    for name, p in sorted(PERSONALITIES.items()):
+        print(f"  {name:9s} [{p.category}]  paper Table-1 accuracy {p.ref_pc_accuracy:.1%}")
+    print("\nmixes (Table 3):")
+    for name, mix in sorted(MIXES.items()):
+        print(f"  {name:6s} {', '.join(mix.benchmarks)}")
+    print("\nfetch policies:  icount, stall, flush, dg, pdg, rr")
+    print("schedulers:      oldest, visa")
+    print("dispatch:        none, opt1, opt1-linear, opt2")
+    print("experiments:     " + ", ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMT issue-queue soft-error reliability reproduction (ICPP 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload mix")
+    p_run.add_argument("--mix", default="CPU-A", choices=sorted(MIXES))
+    p_run.add_argument("--fetch-policy", default="icount",
+                       choices=["icount", "stall", "flush", "dg", "pdg", "rr"])
+    p_run.add_argument("--scheduler", default="oldest", choices=["oldest", "visa"])
+    p_run.add_argument("--dispatch", default=None,
+                       choices=["opt1", "opt1-linear", "opt2"])
+    p_run.add_argument("--dvm", type=float, default=None, metavar="FRAC",
+                       help="enable DVM targeting FRAC * baseline MaxAVF")
+    p_run.add_argument("--cycles", type=int, default=None)
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--no-profile", action="store_true",
+                       help="skip offline ACE profiling (all hints = ACE)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_prof = sub.add_parser("profile", help="offline vulnerability profiling")
+    p_prof.add_argument("benchmark")
+    p_prof.add_argument("--instructions", type=int, default=40_000)
+    p_prof.add_argument("--window", type=int, default=8_000)
+    p_prof.add_argument("--seed", type=int, default=1)
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_rep = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    p_rep.add_argument("experiment")
+    p_rep.add_argument("--cycles", type=int, default=None)
+    p_rep.add_argument("--seed", type=int, default=None)
+    p_rep.add_argument("--full", action="store_true",
+                       help="all Table 3 groups (paper averaging)")
+    p_rep.add_argument("--save", action="store_true", help="write reports/<name>.txt")
+    p_rep.set_defaults(func=cmd_reproduce)
+
+    p_list = sub.add_parser("list", help="enumerate benchmarks/mixes/experiments")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""The SMT out-of-order core: issue queue, schedulers, ROB, LSQ,
+functional units, rename and the top-level pipeline."""
+
+from repro.core.issue_queue import IssueQueue
+from repro.core.scheduler import IssueScheduler, OldestFirstScheduler, VISAScheduler, make_scheduler
+from repro.core.rob import ReorderBuffer
+from repro.core.lsq import LoadStoreQueue
+from repro.core.functional_units import FunctionalUnitPool
+from repro.core.rename import RenameTable
+from repro.core.pipeline import SMTPipeline, SimulationResult
+
+__all__ = [
+    "IssueQueue",
+    "IssueScheduler",
+    "OldestFirstScheduler",
+    "VISAScheduler",
+    "make_scheduler",
+    "ReorderBuffer",
+    "LoadStoreQueue",
+    "FunctionalUnitPool",
+    "RenameTable",
+    "SMTPipeline",
+    "SimulationResult",
+]

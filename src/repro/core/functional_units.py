@@ -1,0 +1,95 @@
+"""Functional unit pools and operation latencies.
+
+Table 2: 8 integer ALUs, 4 integer mult/div, 4 load/store units,
+8 FP ALUs, 4 FP mult/div/sqrt.  Units are fully pipelined: issuing an
+operation consumes one unit slot for the issue cycle only, and the
+result arrives after the operation latency (memory operations get their
+latency from the cache hierarchy instead).
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.isa.instruction import OpClass
+
+
+class FUKind:
+    IALU = 0
+    IMULT = 1
+    LS = 2
+    FALU = 3
+    FMULT = 4
+    _COUNT = 5
+
+
+_OP_TO_FU = {
+    OpClass.IALU: FUKind.IALU,
+    OpClass.BRANCH: FUKind.IALU,
+    OpClass.JUMP: FUKind.IALU,
+    OpClass.CALL: FUKind.IALU,
+    OpClass.RET: FUKind.IALU,
+    OpClass.NOP: FUKind.IALU,
+    OpClass.IMULT: FUKind.IMULT,
+    OpClass.IDIV: FUKind.IMULT,
+    OpClass.LOAD: FUKind.LS,
+    OpClass.STORE: FUKind.LS,
+    OpClass.PREFETCH: FUKind.LS,
+    OpClass.FALU: FUKind.FALU,
+    OpClass.FMULT: FUKind.FMULT,
+    OpClass.FDIV: FUKind.FMULT,
+    OpClass.FSQRT: FUKind.FMULT,
+}
+
+
+class FunctionalUnitPool:
+    """Per-cycle issue-slot accounting for the five FU pools."""
+
+    __slots__ = ("_limits", "_used", "busy_integral")
+
+    def __init__(self, machine: MachineConfig):
+        self._limits = [0] * FUKind._COUNT
+        self._limits[FUKind.IALU] = machine.int_alu
+        self._limits[FUKind.IMULT] = machine.int_mult_div
+        self._limits[FUKind.LS] = machine.load_store_units
+        self._limits[FUKind.FALU] = machine.fp_alu
+        self._limits[FUKind.FMULT] = machine.fp_mult_div_sqrt
+        self._used = [0] * FUKind._COUNT
+        self.busy_integral = 0  # unit-cycles consumed (for FU AVF)
+
+    def new_cycle(self) -> None:
+        for k in range(FUKind._COUNT):
+            self._used[k] = 0
+
+    def try_issue(self, opclass: OpClass) -> bool:
+        """Reserve a unit slot for this cycle; False if the pool is dry."""
+        kind = _OP_TO_FU[opclass]
+        if self._used[kind] >= self._limits[kind]:
+            return False
+        self._used[kind] += 1
+        self.busy_integral += 1
+        return True
+
+    def available(self, opclass: OpClass) -> int:
+        kind = _OP_TO_FU[opclass]
+        return self._limits[kind] - self._used[kind]
+
+    @property
+    def total_units(self) -> int:
+        return sum(self._limits)
+
+
+def op_latency(machine: MachineConfig, opclass: OpClass) -> int:
+    """Fixed execution latency of non-memory operations."""
+    if opclass == OpClass.IMULT:
+        return machine.lat_int_mult
+    if opclass == OpClass.IDIV:
+        return machine.lat_int_div
+    if opclass == OpClass.FALU:
+        return machine.lat_fp_alu
+    if opclass == OpClass.FMULT:
+        return machine.lat_fp_mult
+    if opclass == OpClass.FDIV:
+        return machine.lat_fp_div
+    if opclass == OpClass.FSQRT:
+        return machine.lat_fp_sqrt
+    return machine.lat_int_alu

@@ -1,0 +1,160 @@
+"""The shared SMT issue queue with ready/waiting partition and wakeup.
+
+The IQ is the structure under study: Table 2 gives it 96 entries shared
+by all contexts.  Entries hold dispatched instructions until they
+issue; an instruction is *ready* once all source operands have been
+produced (the paper's "ready queue" is the set of ready entries, the
+"waiting queue" the rest — Section 2.1/5.1 use both lengths).
+
+Wakeup is tag-based: consumers carry the sequence tags of their pending
+producers; when a producer completes, :meth:`wakeup` decrements its
+consumers and moves the newly-ready ones to the ready set.
+
+The IQ also maintains the running predicted-ACE-bit counter that DVM's
+online AVF estimation reads (Section 5.1), and per-thread entry counts
+for resource accounting.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import DynInst, DynState
+
+
+class IssueQueue:
+    """Shared issue queue with wakeup/select support."""
+
+    __slots__ = (
+        "capacity",
+        "waiting",
+        "ready",
+        "_consumers",
+        "per_thread",
+        "pred_ace_bits",
+        "ready_pred_ace",
+        "_bits_of",
+        "inserted",
+        "squashed",
+    )
+
+    def __init__(self, capacity: int, num_threads: int, bits_of=None):
+        if capacity <= 0:
+            raise ValueError("IQ capacity must be positive")
+        self.capacity = capacity
+        # tag -> DynInst maps preserve insertion (age) order in CPython.
+        self.waiting: dict[int, DynInst] = {}
+        self.ready: dict[int, DynInst] = {}
+        self._consumers: dict[int, list[DynInst]] = {}
+        self.per_thread = [0] * num_threads
+        # Predicted-ACE bits currently resident (online AVF numerator).
+        self.pred_ace_bits = 0
+        # Predicted-ACE instructions currently in the ready set (Fig. 2).
+        self.ready_pred_ace = 0
+        self._bits_of = bits_of if bits_of is not None else (lambda inst: 0)
+        self.inserted = 0
+        self.squashed = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.waiting) + len(self.ready)
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self)
+
+    @property
+    def ready_count(self) -> int:
+        return len(self.ready)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self.waiting)
+
+    def thread_count(self, tid: int) -> int:
+        return self.per_thread[tid]
+
+    # ------------------------------------------------------------------
+    def insert(self, inst: DynInst, cycle: int) -> None:
+        """Dispatch ``inst`` into the IQ.
+
+        The caller must have resolved ``inst.src_tags`` against the
+        rename table (leaving only tags of still-executing producers).
+        """
+        if self.free_entries <= 0:
+            raise RuntimeError("issue queue overflow")
+        inst.state = DynState.DISPATCHED
+        inst.dispatch_cycle = cycle
+        if inst.src_tags:
+            self.waiting[inst.tag] = inst
+            for t in inst.src_tags:
+                self._consumers.setdefault(t, []).append(inst)
+        else:
+            inst.ready_cycle = cycle
+            self.ready[inst.tag] = inst
+            if inst.ace_pred:
+                self.ready_pred_ace += 1
+        self.per_thread[inst.thread] += 1
+        self.pred_ace_bits += self._bits_of(inst)
+        self.inserted += 1
+
+    def wakeup(self, tag: int, cycle: int) -> None:
+        """Broadcast completion of producer ``tag``."""
+        consumers = self._consumers.pop(tag, None)
+        if not consumers:
+            return
+        for inst in consumers:
+            if inst.state != DynState.DISPATCHED:
+                continue  # squashed or already issued
+            try:
+                inst.src_tags.remove(tag)
+            except ValueError:
+                continue
+            if not inst.src_tags and inst.tag in self.waiting:
+                del self.waiting[inst.tag]
+                inst.ready_cycle = cycle
+                self.ready[inst.tag] = inst
+                if inst.ace_pred:
+                    self.ready_pred_ace += 1
+
+    def remove_issued(self, inst: DynInst) -> None:
+        """Deallocate the entry of an instruction selected for issue."""
+        del self.ready[inst.tag]
+        self.per_thread[inst.thread] -= 1
+        self.pred_ace_bits -= self._bits_of(inst)
+        if inst.ace_pred:
+            self.ready_pred_ace -= 1
+
+    def squash_thread(self, tid: int, after_tag: int) -> list[DynInst]:
+        """Remove all entries of ``tid`` with tag > ``after_tag``.
+
+        Returns the removed instructions (the pipeline marks them
+        squashed and accounts their residency).
+        """
+        removed: list[DynInst] = []
+        for pool in (self.waiting, self.ready):
+            is_ready_pool = pool is self.ready
+            victims = [i for i in pool.values() if i.thread == tid and i.tag > after_tag]
+            for inst in victims:
+                del pool[inst.tag]
+                self.per_thread[tid] -= 1
+                self.pred_ace_bits -= self._bits_of(inst)
+                if is_ready_pool and inst.ace_pred:
+                    self.ready_pred_ace -= 1
+                removed.append(inst)
+        # Squashed producers will never broadcast; drop their consumer
+        # lists (the consumers are younger in the same thread, so they
+        # are being squashed too).
+        for inst in removed:
+            self._consumers.pop(inst.tag, None)
+        self.squashed += len(removed)
+        return removed
+
+    def drop_consumers(self, tag: int) -> None:
+        """Forget the consumer list of a producer that will never
+        broadcast (squashed after it had already issued)."""
+        self._consumers.pop(tag, None)
+
+    def ready_ages(self):
+        """Ready instructions in age (tag) order — CPython dict order is
+        insertion order and insertions happen in dispatch order, but
+        wakeups reorder, so sort by tag."""
+        return sorted(self.ready.values(), key=lambda i: i.tag)

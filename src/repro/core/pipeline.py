@@ -1,0 +1,830 @@
+"""The top-level SMT out-of-order pipeline.
+
+An execution-driven, cycle-level model of the Table 2 machine: per
+cycle it commits (in order, per thread), writes back completed
+operations (waking IQ consumers and resolving branches), issues from
+the shared IQ through the configured scheduler, dispatches renamed
+instructions under the configured resource-allocation/DVM constraints,
+and fetches down (possibly wrong) predicted paths under the configured
+SMT fetch policy.
+
+Stage order within a cycle is reverse-pipeline (commit → writeback →
+issue → dispatch → fetch) so instructions take at least one cycle per
+stage and wakeup enables back-to-back dependent issue.
+
+The pipeline implements the ``CoreView`` protocol consumed by fetch
+policies and is the integration point of the paper's mechanisms: the
+VISA scheduler (Section 2.1), dynamic IQ resource allocation
+(Section 2.2, Figures 3–4) and DVM (Section 5, Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import MachineConfig, SimulationConfig
+from repro.core.functional_units import FunctionalUnitPool, op_latency
+from repro.core.issue_queue import IssueQueue
+from repro.core.lsq import LoadStoreQueue
+from repro.core.rename import RenameTable
+from repro.core.rob import ReorderBuffer
+from repro.core.scheduler import IssueScheduler, make_scheduler
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.frontend.fetch_policy import FetchPolicy, FlushPolicy, make_fetch_policy
+from repro.isa.instruction import DynInst, DynState, OpClass
+from repro.isa.program import SyntheticProgram, ThreadContext
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.reliability.ace import ACEAnalyzer
+from repro.reliability.avf import AVFAccount, AVFBitLayout, Structure
+from repro.reliability.dvm import DVMController
+from repro.reliability.resource_alloc import (
+    DispatchPolicy,
+    IntervalSnapshot,
+    UnlimitedDispatch,
+)
+
+#: Max threads fetched per cycle (ICOUNT.2.8-style front end).
+_FETCH_THREADS_PER_CYCLE = 2
+
+
+@dataclass
+class IntervalRecord:
+    """Per-interval runtime statistics (one adaptation interval)."""
+
+    index: int
+    end_cycle: int
+    committed: int
+    per_thread_committed: tuple[int, ...]
+    avg_ready_queue_len: float
+    avg_waiting_queue_len: float
+    l2_misses: int
+    online_avf_estimate: float
+    iq_limit: int
+    online_rob_estimate: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / max(1, self.cycles)
+
+    cycles: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced; the harness layers metrics on top."""
+
+    cycles: int
+    warmup_cycles: int
+    interval_cycles: int
+    committed: int
+    per_thread_committed: tuple[int, ...]
+    warm_committed: int
+    warm_per_thread_committed: tuple[int, ...]
+    intervals: list[IntervalRecord]
+    iq_interval_avf: list[float]
+    rob_interval_avf: list[float]
+    overall_avf: dict[Structure, float]
+    squashed: int
+    flushes: int
+    bp_accuracy: float
+    l1d_miss_rate: float
+    l2_miss_rate: float
+    l2_misses: int
+    ace_fraction: float
+    ready_hist: np.ndarray | None = None
+    ready_hist_ace: np.ndarray | None = None
+    dvm_mean_ratio: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def warm_cycles(self) -> int:
+        return self.cycles - self.warmup_cycles
+
+    @property
+    def ipc(self) -> float:
+        """Throughput IPC over the post-warm-up region."""
+        return self.warm_committed / max(1, self.warm_cycles)
+
+    @property
+    def per_thread_ipc(self) -> tuple[float, ...]:
+        return tuple(c / max(1, self.warm_cycles) for c in self.warm_per_thread_committed)
+
+    @property
+    def _warm_interval_start(self) -> int:
+        return self.warmup_cycles // self.interval_cycles
+
+    @property
+    def warm_iq_interval_avf(self) -> list[float]:
+        return self.iq_interval_avf[self._warm_interval_start:]
+
+    @property
+    def iq_avf(self) -> float:
+        """Oracle IQ AVF averaged over post-warm-up intervals."""
+        warm = self.warm_iq_interval_avf
+        return float(np.mean(warm)) if warm else 0.0
+
+    @property
+    def max_iq_avf(self) -> float:
+        warm = self.warm_iq_interval_avf
+        return float(np.max(warm)) if warm else 0.0
+
+    @property
+    def max_online_estimate(self) -> float:
+        """Maximum per-interval *online* (predicted-ACE-bit) AVF
+        estimate — the hardware-observable counterpart of
+        ``max_iq_avf``, used to express DVM targets in the units the
+        controller actually measures."""
+        start = self._warm_interval_start
+        vals = [r.online_avf_estimate for r in self.intervals[start:]]
+        return float(np.max(vals)) if vals else 0.0
+
+    def pve(self, target_avf: float) -> float:
+        """Percentage of vulnerability emergencies: the fraction of
+        post-warm-up intervals whose oracle IQ AVF exceeds the target
+        (Section 5.2)."""
+        warm = self.warm_iq_interval_avf
+        if not warm:
+            return 0.0
+        return float(np.mean([a > target_avf for a in warm]))
+
+    # ------------------------------------------------------------------
+    # ROB-DVM extension (the paper's suggested generalization)
+    # ------------------------------------------------------------------
+    @property
+    def warm_rob_interval_avf(self) -> list[float]:
+        return self.rob_interval_avf[self._warm_interval_start:]
+
+    @property
+    def rob_avf(self) -> float:
+        warm = self.warm_rob_interval_avf
+        return float(np.mean(warm)) if warm else 0.0
+
+    @property
+    def max_rob_avf(self) -> float:
+        warm = self.warm_rob_interval_avf
+        return float(np.max(warm)) if warm else 0.0
+
+    @property
+    def max_online_rob_estimate(self) -> float:
+        start = self._warm_interval_start
+        vals = [r.online_rob_estimate for r in self.intervals[start:]]
+        return float(np.max(vals)) if vals else 0.0
+
+    def pve_rob(self, target_avf: float) -> float:
+        """PVE measured on the ROB's oracle interval AVF."""
+        warm = self.warm_rob_interval_avf
+        if not warm:
+            return 0.0
+        return float(np.mean([a > target_avf for a in warm]))
+
+
+class SMTPipeline:
+    """Cycle-level SMT processor simulation of one workload mix."""
+
+    def __init__(
+        self,
+        programs: list[SyntheticProgram],
+        machine: MachineConfig | None = None,
+        sim: SimulationConfig | None = None,
+        fetch_policy: str | FetchPolicy = "icount",
+        scheduler: str | IssueScheduler = "oldest",
+        dispatch_policy: DispatchPolicy | None = None,
+        dvm: DVMController | None = None,
+        dvm_structure: Structure = Structure.IQ,
+        avf_layout: AVFBitLayout | None = None,
+    ):
+        if not programs:
+            raise ValueError("at least one program (thread) is required")
+        self.machine = (machine or MachineConfig()).replace(num_threads=len(programs))
+        self.machine.validate()
+        self.sim = sim or SimulationConfig()
+        self.sim.validate()
+        n = self.machine.num_threads
+        rel = self.sim.reliability
+
+        self.programs = programs
+        self.contexts = [
+            ThreadContext(p, seed=self.sim.seed * 7919 + t) for t, p in enumerate(programs)
+        ]
+        self.mem = MemoryHierarchy(self.machine)
+        self.bp = BranchPredictor(self.machine.branch_predictor, n)
+        self.fus = FunctionalUnitPool(self.machine)
+        self.scheduler = (
+            make_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        )
+        self.base_fetch_policy = (
+            make_fetch_policy(fetch_policy) if isinstance(fetch_policy, str) else fetch_policy
+        )
+        self._flush_policy = (
+            self.base_fetch_policy
+            if isinstance(self.base_fetch_policy, FlushPolicy)
+            else FlushPolicy()
+        )
+        self.dispatch_policy = dispatch_policy or UnlimitedDispatch(self.machine.iq_size)
+        self.dvm = dvm
+        if dvm_structure not in (Structure.IQ, Structure.ROB):
+            raise ValueError("DVM can govern the IQ or the ROB")
+        self.dvm_structure = dvm_structure
+
+        self.avf = AVFAccount(self.machine, rel.interval_cycles, avf_layout)
+        self.analyzer = ACEAnalyzer(
+            n,
+            window_size=rel.ace_window,
+            resolve_cb=self.avf.on_resolved,
+            rf_cb=self.avf.on_rf_lifetime,
+        )
+        self.iq = IssueQueue(self.machine.iq_size, n, bits_of=self.avf.iq_bits_pred)
+        self.robs = [ReorderBuffer(self.machine.rob_size_per_thread, t) for t in range(n)]
+        self.lsqs = [LoadStoreQueue(self.machine.lsq_size_per_thread, t) for t in range(n)]
+        self.rename = [RenameTable(t) for t in range(n)]
+        self.fetch_q: list[deque[DynInst]] = [deque() for _ in range(n)]
+
+        # Per-thread dynamic state.
+        self.fetch_stall_until = [0] * n
+        self._last_fetch_line = [-1] * n
+        self._outstanding_l2 = [0] * n
+        self._outstanding_l1d = [0] * n
+        self.committed_per_thread = [0] * n
+
+        # Global dynamic state.
+        self.cycle = 0
+        self._next_tag = 1
+        self._wheel: dict[int, list[DynInst]] = {}
+        self._pending_flushes: list[tuple[int, int]] = []
+        self.total_committed = 0
+        self.total_squashed = 0
+        self.flush_count = 0
+        self._iline_shift = self.machine.l1i.line_size.bit_length() - 1
+
+        # Interval accumulators.
+        self._int_committed = 0
+        self._int_committed_pt = [0] * n
+        self._int_rql_sum = 0
+        self._int_wql_sum = 0
+        self._int_l2_base = 0
+        self._int_online_bits = 0
+        self._sample_bits = 0
+        self._sample_cycles = 0
+        self.intervals: list[IntervalRecord] = []
+        # ROB-DVM extension: running predicted-ACE bits resident in the
+        # ROBs (maintained at dispatch/commit/squash).
+        self.rob_pred_ace_bits = 0
+        self._int_online_rob_bits = 0
+
+        # Warm-up bookkeeping.
+        self._warm_committed_pt = [0] * n
+
+        # Optional ready-queue histogram (Figure 2).
+        self._hist = None
+        self._hist_ace = None
+        if self.sim.collect_ready_queue_histogram:
+            self._hist = np.zeros(self.machine.iq_size + 1, dtype=np.int64)
+            self._hist_ace = np.zeros(self.machine.iq_size + 1, dtype=np.float64)
+
+        self._sample_period = max(
+            1, rel.interval_cycles // rel.dvm_samples_per_interval
+        )
+
+    # ------------------------------------------------------------------
+    # CoreView protocol (fetch policies observe the pipeline through it)
+    # ------------------------------------------------------------------
+    @property
+    def num_threads(self) -> int:
+        return self.machine.num_threads
+
+    def in_flight(self, tid: int) -> int:
+        """ICOUNT metric: instructions in the front-end and the IQ."""
+        return len(self.fetch_q[tid]) + self.iq.per_thread[tid]
+
+    def outstanding_l2(self, tid: int) -> int:
+        return self._outstanding_l2[tid]
+
+    def outstanding_l1d(self, tid: int) -> int:
+        return self._outstanding_l1d[tid]
+
+    def request_flush(self, tid: int, after_tag: int) -> None:
+        """FLUSH policy callback: flush ``tid``'s instructions younger
+        than ``after_tag`` (deferred to the end of the issue stage)."""
+        self._pending_flushes.append((tid, after_tag))
+
+    # ------------------------------------------------------------------
+    def active_fetch_policy(self) -> FetchPolicy:
+        """Opt2 swaps in FLUSH while its miss trigger is armed."""
+        if self.dispatch_policy.flush_mode:
+            return self._flush_policy
+        return self.base_fetch_policy
+
+    # ==================================================================
+    # Cycle stages
+    # ==================================================================
+    def _commit(self) -> None:
+        budget = self.machine.commit_width
+        n = self.num_threads
+        start = self.cycle % n
+        cycle = self.cycle
+        for i in range(n):
+            t = (start + i) % n
+            rob = self.robs[t]
+            while budget > 0:
+                head = rob.head()
+                if head is None or head.state != DynState.COMPLETED:
+                    break
+                rob.commit_head()
+                head.commit_cycle = cycle
+                self.rob_pred_ace_bits -= self.avf.rob_bits_pred(head)
+                op = head.opclass
+                if op.is_mem:
+                    self.lsqs[t].remove(head)
+                    if op == OpClass.STORE and head.mem_addr >= 0:
+                        self.mem.access_data(head.mem_addr, t, is_write=True)
+                elif op == OpClass.BRANCH:
+                    self.bp.update_direction(
+                        head.pc, t, head.actual_taken, head.pred_taken,
+                        idx=head.bp_index if head.bp_index >= 0 else None,
+                    )
+                    if head.actual_taken:
+                        self.bp.btb_update(head.pc, head.static.taken_block)
+                self.committed_per_thread[t] += 1
+                self.total_committed += 1
+                self._int_committed += 1
+                self._int_committed_pt[t] += 1
+                self.analyzer.commit(head, cycle)
+                budget -= 1
+
+    def _writeback(self) -> None:
+        events = self._wheel.pop(self.cycle, None)
+        if not events:
+            return
+        events.sort(key=lambda i: i.tag)  # resolve older branches first
+        policy = self.active_fetch_policy()
+        for inst in events:
+            if inst.state == DynState.SQUASHED:
+                continue
+            inst.state = DynState.COMPLETED
+            inst.complete_cycle = self.cycle
+            self.iq.wakeup(inst.tag, self.cycle)
+            if inst.opclass == OpClass.LOAD:
+                t = inst.thread
+                if inst.l1_miss:
+                    self._outstanding_l1d[t] -= 1
+                if inst.l2_miss:
+                    self._outstanding_l2[t] -= 1
+                    if self._outstanding_l2[t] == 0:
+                        policy.on_l2_return(self, t)
+                policy.on_load_left(self, inst)
+            if inst.mispredicted and inst.state != DynState.SQUASHED:
+                self._recover_branch(inst)
+
+    def _recover_branch(self, branch: DynInst) -> None:
+        t = branch.thread
+        self._squash_thread(t, branch.tag)
+        ctx = self.contexts[t]
+        ctx.restore(branch.checkpoint)
+        ctx.advance_control(branch.static, branch.actual_taken, branch.actual_target)
+        self._last_fetch_line[t] = -1
+        self.fetch_stall_until[t] = max(
+            self.fetch_stall_until[t],
+            self.cycle + self.machine.branch_mispredict_penalty,
+        )
+
+    def _squash_thread(self, tid: int, after_tag: int) -> list[DynInst]:
+        """Remove every in-flight instruction of ``tid`` younger than
+        ``after_tag`` from the whole pipeline."""
+        squashed: list[DynInst] = []
+        policy = self.active_fetch_policy()
+        fq = self.fetch_q[tid]
+        while fq and fq[-1].tag > after_tag:
+            inst = fq.pop()
+            inst.state = DynState.SQUASHED
+            squashed.append(inst)
+        for inst in self.iq.squash_thread(tid, after_tag):
+            inst.state = DynState.SQUASHED
+            inst.iq_leave_cycle = self.cycle
+            squashed.append(inst)
+        # ROB walk (young-first) covers every dispatched instruction:
+        # rename unwind, in-flight-load bookkeeping, consumer cleanup.
+        for inst in self.robs[tid].squash_after(after_tag):
+            if inst.state == DynState.ISSUED:
+                if inst.opclass == OpClass.LOAD:
+                    if inst.l1_miss:
+                        self._outstanding_l1d[tid] -= 1
+                    if inst.l2_miss:
+                        self._outstanding_l2[tid] -= 1
+                        if self._outstanding_l2[tid] == 0:
+                            policy.on_l2_return(self, tid)
+                    policy.on_load_left(self, inst)
+                self.iq.drop_consumers(inst.tag)
+            elif inst.state == DynState.COMPLETED:
+                self.iq.drop_consumers(inst.tag)
+            elif inst.state == DynState.DISPATCHED and inst.opclass == OpClass.LOAD:
+                # Never issued, but PDG counted it at dispatch: release
+                # its predicted-miss slot or the thread gates forever.
+                policy.on_load_left(self, inst)
+            # Every ROB-resident entry carried ROB counter bits.
+            self.rob_pred_ace_bits -= self.avf.rob_bits_pred(inst)
+            self.rename[tid].unwind(inst)
+            if inst.state != DynState.SQUASHED:
+                inst.state = DynState.SQUASHED
+                squashed.append(inst)
+        self.lsqs[tid].squash_after(after_tag)
+        self.total_squashed += len(squashed)
+        return squashed
+
+    def _do_flush(self, tid: int, after_tag: int) -> None:
+        """FLUSH fetch policy: flush ``tid`` after the missing load and
+        rewind the fetch point so the flushed instructions refetch."""
+        squashed = self._squash_thread(tid, after_tag)
+        if not squashed:
+            return
+        oldest = min(squashed, key=lambda i: i.tag)
+        self.contexts[tid].restore(oldest.checkpoint)
+        self._last_fetch_line[tid] = -1
+        self.flush_count += 1
+
+    def _issue(self) -> None:
+        self.fus.new_cycle()
+        width = self.machine.issue_width
+        if self.iq.ready:
+            # Over-select so FU structural hazards can be skipped over.
+            candidates = self.scheduler.select(self.iq, width * 2)
+            issued = 0
+            for inst in candidates:
+                if issued >= width:
+                    break
+                if inst.state != DynState.DISPATCHED:
+                    continue
+                if not self.fus.try_issue(inst.opclass):
+                    continue
+                self._issue_one(inst)
+                issued += 1
+        if self._pending_flushes:
+            for tid, after_tag in self._pending_flushes:
+                self._do_flush(tid, after_tag)
+            self._pending_flushes.clear()
+
+    def _issue_one(self, inst: DynInst) -> None:
+        cycle = self.cycle
+        self.iq.remove_issued(inst)
+        inst.state = DynState.ISSUED
+        inst.issue_cycle = cycle
+        inst.iq_leave_cycle = cycle
+        t = inst.thread
+        op = inst.opclass
+        policy = self.active_fetch_policy()
+        if op == OpClass.LOAD:
+            addr = self.contexts[t].mem_address(inst.static, inst.stream_pos)
+            inst.mem_addr = addr
+            if self.lsqs[t].can_forward(addr):
+                latency = 1
+            else:
+                res = self.mem.access_data(addr, t)
+                latency = res.latency
+                if res.l1_miss:
+                    inst.l1_miss = True
+                    self._outstanding_l1d[t] += 1
+                if res.l2_miss:
+                    inst.l2_miss = True
+                    self._outstanding_l2[t] += 1
+                    policy.on_l2_miss(self, inst)
+                    if self.dvm is not None:
+                        self.dvm.on_l2_miss()
+                policy.on_load_resolved(self, inst, res.l1_miss)
+        elif op == OpClass.PREFETCH:
+            addr = self.contexts[t].mem_address(inst.static, inst.stream_pos)
+            inst.mem_addr = addr
+            self.mem.access_data(addr, t)  # warms the caches, non-blocking
+            latency = 1
+        elif op == OpClass.STORE:
+            addr = self.contexts[t].mem_address(inst.static, inst.stream_pos)
+            inst.mem_addr = addr
+            self.lsqs[t].note_store_address(inst)
+            latency = 1  # address generation; data written at commit
+        else:
+            latency = op_latency(self.machine, op)
+        inst.exec_latency = latency
+        self._wheel.setdefault(cycle + latency, []).append(inst)
+
+    def _dispatch(self) -> None:
+        budget = self.machine.decode_width
+        iql = self.dispatch_policy.iq_limit
+        dvm = self.dvm
+        if dvm is not None:
+            self._update_dvm_restore()
+        # ICOUNT-ordered dispatch.
+        order = sorted(range(self.num_threads), key=lambda t: (self.in_flight(t), t))
+        for t in order:
+            fq = self.fetch_q[t]
+            if not fq:
+                continue
+            if dvm is not None:
+                if not dvm.allow_dispatch(t):
+                    continue
+                # While the response mechanism is armed, threads with an
+                # outstanding L2 miss stop dispatching: their dependent
+                # ACE bits would sit in the IQ for hundreds of cycles
+                # (Section 5.1); the freed slots go to other threads.
+                if dvm.triggered and self._outstanding_l2[t] > 0 and t != dvm.restore_thread:
+                    continue
+            rob = self.robs[t]
+            lsq = self.lsqs[t]
+            rename = self.rename[t]
+            while budget > 0 and fq:
+                if len(self.iq) >= iql or self.iq.free_entries <= 0:
+                    return  # the shared IQ is the limit: nobody dispatches
+                inst = fq[0]
+                if rob.full:
+                    break
+                is_mem = inst.opclass.is_mem
+                if is_mem and lsq.full:
+                    break
+                fq.popleft()
+                rename.resolve_sources(inst)
+                rename.set_dest(inst)
+                rob.push(inst)
+                self.rob_pred_ace_bits += self.avf.rob_bits_pred(inst)
+                if is_mem:
+                    lsq.push(inst)
+                self.iq.insert(inst, self.cycle)
+                if inst.opclass == OpClass.LOAD:
+                    self.active_fetch_policy().on_load_dispatch(self, inst)
+                budget -= 1
+
+    def _update_dvm_restore(self) -> None:
+        """Section 5.1: when all threads are stalled on L2 misses and
+        the online AVF is back under the trigger threshold, restore
+        dispatch for the thread with the fewest predicted-ACE
+        instructions in its fetch queue."""
+        dvm = self.dvm
+        all_stalled = all(self._outstanding_l2[t] > 0 for t in range(self.num_threads))
+        if all_stalled and dvm.restore_eligible:
+            best_t, best_ace = None, None
+            for t in range(self.num_threads):
+                ace = sum(1 for i in self.fetch_q[t] if i.ace_pred)
+                if best_ace is None or ace < best_ace:
+                    best_t, best_ace = t, ace
+            dvm.set_restore_thread(best_t)
+        else:
+            dvm.set_restore_thread(None)
+
+    def _fetch(self) -> None:
+        policy = self.active_fetch_policy()
+        allowed = policy.select(self)
+        budget = self.machine.fetch_width
+        fq_cap = self.machine.fetch_queue_size
+        threads_used = 0
+        cycle = self.cycle
+        for t in allowed:
+            if budget <= 0 or threads_used >= _FETCH_THREADS_PER_CYCLE:
+                break
+            if cycle < self.fetch_stall_until[t]:
+                continue
+            fq = self.fetch_q[t]
+            if len(fq) >= fq_cap:
+                continue
+            threads_used += 1
+            ctx = self.contexts[t]
+            taken_budget = 2  # fetch through up to two taken transfers
+            while budget > 0 and len(fq) < fq_cap:
+                st = ctx.peek()
+                line = st.pc >> self._iline_shift
+                if line != self._last_fetch_line[t]:
+                    res = self.mem.access_instr(st.pc, t)
+                    self._last_fetch_line[t] = line
+                    if res.latency > self.machine.l1i.latency:
+                        self.fetch_stall_until[t] = cycle + res.latency
+                        break
+                inst = DynInst(
+                    tag=self._next_tag,
+                    thread=t,
+                    static=st,
+                    stream_pos=ctx.stream_pos,
+                )
+                self._next_tag += 1
+                inst.fetch_cycle = cycle
+                inst.ace_pred = st.ace_hint
+                inst.checkpoint = ctx.checkpoint()
+                took_transfer = False
+                if st.opclass.is_control:
+                    took_transfer = self._fetch_control(inst, ctx, t)
+                else:
+                    ctx.advance()
+                fq.append(inst)
+                budget -= 1
+                if took_transfer:
+                    taken_budget -= 1
+                    if taken_budget <= 0:
+                        break
+
+    def _fetch_control(self, inst: DynInst, ctx: ThreadContext, t: int) -> bool:
+        """Predict and speculatively follow a control instruction.
+        Returns True if fetch for this thread stops this cycle (a taken
+        control transfer)."""
+        st = inst.static
+        op = st.opclass
+        actual_taken, actual_target = ctx.resolve_control(st)
+        inst.actual_taken = actual_taken
+        inst.actual_target = actual_target
+        if op == OpClass.BRANCH:
+            pred_taken, inst.bp_index = self.bp.predict_direction(st.pc, t)
+            # Direct branches: the target is available from decode, so a
+            # BTB miss costs target-prediction stats but not direction
+            # (Alpha-style decode repair; all synthetic branches are
+            # direct).  The BTB is still exercised for its statistics.
+            self.bp.btb_lookup(st.pc)
+            pred_target = st.taken_block if pred_taken else st.fall_block
+        elif op in (OpClass.JUMP, OpClass.CALL):
+            pred_taken, pred_target = True, st.taken_block
+            if op == OpClass.CALL:
+                ret_block = st.fall_block
+                self.bp.ras_push(t, ret_block if ret_block >= 0 else 0)
+        else:  # RET
+            pred_taken = True
+            popped = self.bp.ras_pop(t)
+            pred_target = popped if popped is not None else ctx.program.entry
+        inst.pred_taken = pred_taken
+        inst.pred_target = pred_target
+        inst.mispredicted = (pred_taken != actual_taken) or (
+            pred_taken and pred_target != actual_target
+        )
+        followed_target = pred_target if pred_taken else st.fall_block
+        ctx.advance_control(st, pred_taken, followed_target)
+        if pred_taken:
+            self._last_fetch_line[t] = -1  # redirect: new fetch line
+            return True
+        return False
+
+    # ==================================================================
+    # Per-cycle bookkeeping
+    # ==================================================================
+    def _tick_stats(self) -> None:
+        cycle = self.cycle
+        rel = self.sim.reliability
+        iq = self.iq
+        rql = iq.ready_count
+        self._int_rql_sum += rql
+        self._int_wql_sum += iq.waiting_count
+        self._int_online_bits += iq.pred_ace_bits
+        self._int_online_rob_bits += self.rob_pred_ace_bits
+        if self.dvm_structure == Structure.ROB:
+            self._sample_bits += self.rob_pred_ace_bits
+        else:
+            self._sample_bits += iq.pred_ace_bits
+        self._sample_cycles += 1
+        if self._hist is not None and cycle >= self.sim.warmup_cycles:
+            self._hist[rql] += 1
+            self._hist_ace[rql] += iq.ready_pred_ace
+
+        dvm = self.dvm
+        if dvm is not None and cycle % rel.dvm_ratio_period == 0:
+            dvm.recompute_ratio_gate(iq.waiting_count, iq.ready_count)
+        if (cycle + 1) % self._sample_period == 0:
+            est = self._sample_bits / (
+                self._sample_cycles * self.avf.capacity_bits(self.dvm_structure)
+            )
+            if dvm is not None:
+                dvm.on_sample(est)
+            self._sample_bits = 0
+            self._sample_cycles = 0
+        if (cycle + 1) % rel.interval_cycles == 0:
+            self._close_interval()
+
+    def _close_interval(self) -> None:
+        rel = self.sim.reliability
+        cycles = rel.interval_cycles
+        l2_now = self.mem.l2_miss_count
+        snap = IntervalSnapshot(
+            cycle=self.cycle + 1,
+            committed=self._int_committed,
+            cycles=cycles,
+            avg_ready_queue_len=self._int_rql_sum / cycles,
+            l2_misses=l2_now - self._int_l2_base,
+        )
+        self.dispatch_policy.on_interval(snap)
+        capacity = self.avf.capacity_bits(Structure.IQ)
+        rec = IntervalRecord(
+            index=len(self.intervals),
+            end_cycle=self.cycle + 1,
+            cycles=cycles,
+            committed=self._int_committed,
+            per_thread_committed=tuple(self._int_committed_pt),
+            avg_ready_queue_len=snap.avg_ready_queue_len,
+            avg_waiting_queue_len=self._int_wql_sum / cycles,
+            l2_misses=snap.l2_misses,
+            online_avf_estimate=self._int_online_bits / (cycles * capacity),
+            iq_limit=self.dispatch_policy.iq_limit,
+            online_rob_estimate=(
+                self._int_online_rob_bits
+                / (cycles * self.avf.capacity_bits(Structure.ROB))
+            ),
+        )
+        self.intervals.append(rec)
+        self._int_committed = 0
+        self._int_committed_pt = [0] * self.num_threads
+        self._int_rql_sum = 0
+        self._int_wql_sum = 0
+        self._int_online_bits = 0
+        self._int_online_rob_bits = 0
+        self._int_l2_base = l2_now
+
+    # ==================================================================
+    def _functional_warmup(self) -> None:
+        """Functionally fast-forward each thread through the branch
+        predictor, caches and TLBs before timing begins — SimPoint
+        semantics: the detailed simulation *continues from* the
+        fast-forwarded point (the timed region is preceded, not
+        pre-touched, by the warm-up region)."""
+        n_insts = self.sim.bp_warmup_instructions
+        if n_insts <= 0:
+            return
+        iline_shift = self._iline_shift
+        for t, program in enumerate(self.programs):
+            ctx = self.contexts[t]  # advanced in place: timing continues here
+            last_line = -1
+            for _ in range(n_insts):
+                st = ctx.peek()
+                line = st.pc >> iline_shift
+                if line != last_line:
+                    self.mem.access_instr(st.pc, t)
+                    last_line = line
+                op = st.opclass
+                if op.is_mem:
+                    addr = ctx.mem_address(st, ctx.stream_pos)
+                    self.mem.access_data(addr, t, is_write=(op == OpClass.STORE))
+                if op.is_control:
+                    taken, target = ctx.resolve_control(st)
+                    if op == OpClass.BRANCH:
+                        pred, idx = self.bp.predict_direction(st.pc, t)
+                        self.bp.update_direction(st.pc, t, taken, pred, idx)
+                        if taken:
+                            self.bp.btb_update(st.pc, st.taken_block)
+                    elif op == OpClass.CALL:
+                        self.bp.ras_push(t, st.fall_block if st.fall_block >= 0 else 0)
+                    elif op == OpClass.RET:
+                        self.bp.ras_pop(t)
+                    ctx.advance_control(st, taken, target)
+                else:
+                    ctx.advance()
+        self.bp.stats.__init__()  # warm-up predictions don't count
+        self.mem.reset_stats()  # warm-up accesses don't count
+
+    def run(self) -> SimulationResult:
+        """Simulate ``sim.max_cycles`` cycles and return the results."""
+        self._functional_warmup()
+        max_cycles = self.sim.max_cycles
+        max_insts = self.sim.max_instructions
+        warm_marked = False
+        for cycle in range(max_cycles):
+            self.cycle = cycle
+            if not warm_marked and cycle == self.sim.warmup_cycles:
+                self._warm_committed_pt = list(self.committed_per_thread)
+                warm_marked = True
+            self._commit()
+            self._writeback()
+            self._issue()
+            self._dispatch()
+            self._fetch()
+            self._tick_stats()
+            if max_insts is not None and self.total_committed >= max_insts:
+                break
+        final_cycle = self.cycle + 1
+        if self.sim.warmup_cycles == 0:
+            self._warm_committed_pt = [0] * self.num_threads
+        self.analyzer.flush(final_cycle)
+        self.avf.close(final_cycle)
+        return self._build_result(final_cycle)
+
+    def _build_result(self, final_cycle: int) -> SimulationResult:
+        warm_pt = tuple(
+            c - w for c, w in zip(self.committed_per_thread, self._warm_committed_pt)
+        )
+        bp_acc = self.bp.stats.direction_accuracy
+        hist = self._hist.copy() if self._hist is not None else None
+        hist_ace = self._hist_ace.copy() if self._hist_ace is not None else None
+        return SimulationResult(
+            cycles=final_cycle,
+            warmup_cycles=min(self.sim.warmup_cycles, final_cycle),
+            interval_cycles=self.sim.reliability.interval_cycles,
+            committed=self.total_committed,
+            per_thread_committed=tuple(self.committed_per_thread),
+            warm_committed=sum(warm_pt),
+            warm_per_thread_committed=warm_pt,
+            intervals=self.intervals,
+            iq_interval_avf=self.avf.interval_avf(Structure.IQ),
+            rob_interval_avf=self.avf.interval_avf(Structure.ROB),
+            overall_avf={s: self.avf.overall_avf(s) for s in Structure},
+            squashed=self.total_squashed,
+            flushes=self.flush_count,
+            bp_accuracy=bp_acc,
+            l1d_miss_rate=self.mem.l1d.stats.miss_rate,
+            l2_miss_rate=self.mem.l2.stats.miss_rate,
+            l2_misses=self.mem.l2_miss_count,
+            ace_fraction=self.analyzer.stats.ace_fraction,
+            ready_hist=hist,
+            ready_hist_ace=hist_ace,
+            dvm_mean_ratio=(
+                self.dvm.stats.mean_ratio if self.dvm is not None else None
+            ),
+        )

@@ -1,0 +1,70 @@
+"""Issue selection policies: baseline oldest-first and VISA.
+
+Section 2.1 of the paper: *Vulnerable InStruction Aware (VISA)* issue
+gives ready ACE instructions priority over ready un-ACE instructions;
+within each class, instructions issue in program order.  Un-ACE
+instructions only issue when fewer ready ACE instructions exist than
+issue slots.  ACE-ness at issue time is the per-PC predicted bit
+(``ace_pred``) from offline profiling — the scheduler never sees the
+oracle.
+"""
+
+from __future__ import annotations
+
+from repro.core.issue_queue import IssueQueue
+from repro.isa.instruction import DynInst
+
+
+class IssueScheduler:
+    """Base interface: pick up to ``width`` ready instructions."""
+
+    name = "base"
+
+    def select(self, iq: IssueQueue, width: int) -> list[DynInst]:
+        raise NotImplementedError
+
+
+class OldestFirstScheduler(IssueScheduler):
+    """Conventional age-ordered (program-order) selection — the
+    baseline issue policy of the evaluated SMT processor."""
+
+    name = "oldest"
+
+    def select(self, iq: IssueQueue, width: int) -> list[DynInst]:
+        if not iq.ready:
+            return []
+        ready = sorted(iq.ready.values(), key=lambda i: i.tag)
+        return ready[:width]
+
+
+class VISAScheduler(IssueScheduler):
+    """Vulnerable-InStruction-Aware issue (Section 2.1).
+
+    Ready ACE instructions bypass all ready un-ACE instructions; ties
+    within a class break by age (program order, approximated by the
+    global sequence tag as in ICOUNT-style SMT selection).
+    """
+
+    name = "visa"
+
+    def select(self, iq: IssueQueue, width: int) -> list[DynInst]:
+        if not iq.ready:
+            return []
+        ready = sorted(iq.ready.values(), key=lambda i: (not i.ace_pred, i.tag))
+        return ready[:width]
+
+
+_SCHEDULERS = {
+    "oldest": OldestFirstScheduler,
+    "visa": VISAScheduler,
+}
+
+
+def make_scheduler(name: str) -> IssueScheduler:
+    """Instantiate an issue scheduler by name ("oldest" or "visa")."""
+    try:
+        return _SCHEDULERS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(_SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,26 @@
+"""Front-end: branch prediction, fetch policies and the fetch unit."""
+
+from repro.frontend.branch_predictor import BranchPredictor, BranchPredictorStats
+from repro.frontend.fetch_policy import (
+    DGPolicy,
+    FetchPolicy,
+    FlushPolicy,
+    ICountPolicy,
+    PDGPolicy,
+    RoundRobinPolicy,
+    StallPolicy,
+    make_fetch_policy,
+)
+
+__all__ = [
+    "BranchPredictor",
+    "BranchPredictorStats",
+    "FetchPolicy",
+    "ICountPolicy",
+    "RoundRobinPolicy",
+    "StallPolicy",
+    "FlushPolicy",
+    "DGPolicy",
+    "PDGPolicy",
+    "make_fetch_policy",
+]

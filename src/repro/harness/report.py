@@ -1,0 +1,45 @@
+"""Plain-text table formatting for experiment outputs.
+
+Every bench prints its reproduction table and appends it to
+``reports/`` so EXPERIMENTS.md can reference concrete numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Iterable[dict], title: str = "") -> str:
+    """Render a list of homogeneous dicts as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no data)\n"
+    cols = list(rows[0].keys())
+    table = [[_fmt(r.get(c)) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def save_report(name: str, text: str, directory: str = "reports") -> str:
+    """Write a report file (created under the repo root by default)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path

@@ -1,0 +1,89 @@
+"""Generic parameter sweeps over simulation configurations.
+
+``sweep`` runs the cartesian product of parameter axes through
+:func:`repro.harness.runner.run_sim` and extracts metrics into flat
+rows — the utility behind custom exploration beyond the paper's fixed
+figures::
+
+    rows = sweep(
+        "MEM-A", scale,
+        axes={"scheduler": ["oldest", "visa"], "dispatch": [None, "opt2"]},
+        metrics={"ipc": lambda r: r.ipc, "avf": lambda r: r.iq_avf},
+    )
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.pipeline import SimulationResult
+from repro.harness.runner import BenchScale, run_sim
+
+_DEFAULT_METRICS: dict[str, Callable[[SimulationResult], float]] = {
+    "ipc": lambda r: r.ipc,
+    "iq_avf": lambda r: r.iq_avf,
+    "max_iq_avf": lambda r: r.max_iq_avf,
+}
+
+
+def sweep(
+    mix_name: str,
+    scale: BenchScale,
+    axes: Mapping[str, Sequence],
+    metrics: Mapping[str, Callable[[SimulationResult], float]] | None = None,
+    normalize_to: Mapping | None = None,
+    **fixed,
+) -> list[dict]:
+    """Run every combination of ``axes`` values and extract ``metrics``.
+
+    ``axes`` maps ``run_sim`` keyword names to value lists.  When
+    ``normalize_to`` (a kwargs dict) is given, each metric is divided by
+    the same metric of that baseline configuration.
+    """
+    if not axes:
+        raise ValueError("at least one axis is required")
+    metrics = dict(metrics or _DEFAULT_METRICS)
+    baseline = None
+    if normalize_to is not None:
+        baseline = run_sim(mix_name, scale, **{**fixed, **normalize_to})
+    names = list(axes.keys())
+    rows = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        kwargs = dict(zip(names, combo))
+        result = run_sim(mix_name, scale, **{**fixed, **kwargs})
+        row: dict = {"mix": mix_name, **kwargs}
+        for mname, extract in metrics.items():
+            value = float(extract(result))
+            if baseline is not None:
+                denom = float(extract(baseline))
+                value = value / denom if denom else 0.0
+            row[mname] = value
+        rows.append(row)
+    return rows
+
+
+def best_row(rows: Sequence[dict], metric: str, maximize: bool = True) -> dict:
+    """The row with the extremal value of ``metric``."""
+    if not rows:
+        raise ValueError("no rows")
+    key = lambda r: r[metric]  # noqa: E731
+    return max(rows, key=key) if maximize else min(rows, key=key)
+
+
+def pareto_front(
+    rows: Sequence[dict], minimize: str, maximize: str
+) -> list[dict]:
+    """Rows not dominated in the (minimize, maximize) plane — e.g. the
+    AVF/IPC trade-off frontier of a mitigation sweep."""
+    front = []
+    for row in rows:
+        dominated = any(
+            other[minimize] <= row[minimize]
+            and other[maximize] >= row[maximize]
+            and (other[minimize] < row[minimize] or other[maximize] > row[maximize])
+            for other in rows
+        )
+        if not dominated:
+            front.append(row)
+    return sorted(front, key=lambda r: r[minimize])

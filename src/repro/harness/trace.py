@@ -1,0 +1,173 @@
+"""Instruction-level pipeline tracing.
+
+``PipelineTracer`` attaches to an :class:`~repro.core.pipeline.SMTPipeline`
+and records one event row per retired (or squashed) instruction:
+per-stage timestamps, ACE-ness, memory/branch outcomes. Traces can be
+filtered, summarized (stage-latency breakdowns), and exported as JSONL
+for external analysis.
+
+This is a debugging/teaching aid, not part of the measured
+experiments: tracing costs memory proportional to the number of
+instructions and a small constant per commit.
+
+Example::
+
+    pipe = SMTPipeline(programs, sim=sim)
+    with PipelineTracer(pipe, limit=50_000) as tracer:
+        pipe.run()
+    print(tracer.summary())
+    tracer.to_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.core.pipeline import SMTPipeline
+from repro.isa.instruction import DynInst, DynState
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One retired or squashed dynamic instruction."""
+
+    tag: int
+    thread: int
+    pc: int
+    opclass: str
+    fetch: int
+    dispatch: int
+    ready: int
+    issue: int
+    complete: int
+    commit: int
+    squashed: bool
+    ace: bool | None
+    ace_pred: bool
+    mispredicted: bool
+    l1_miss: bool
+    l2_miss: bool
+
+    @property
+    def iq_residency(self) -> int:
+        if self.dispatch < 0:
+            return 0
+        end = self.issue if self.issue >= 0 else self.complete
+        return max(end - self.dispatch, 0) if end >= 0 else 0
+
+    @property
+    def total_latency(self) -> int:
+        if self.fetch < 0 or self.commit < 0:
+            return 0
+        return self.commit - self.fetch
+
+
+def _event_of(dyn: DynInst) -> TraceEvent:
+    return TraceEvent(
+        tag=dyn.tag,
+        thread=dyn.thread,
+        pc=dyn.pc,
+        opclass=dyn.opclass.name,
+        fetch=dyn.fetch_cycle,
+        dispatch=dyn.dispatch_cycle,
+        ready=dyn.ready_cycle,
+        issue=dyn.issue_cycle,
+        complete=dyn.complete_cycle,
+        commit=dyn.commit_cycle,
+        squashed=dyn.state == DynState.SQUASHED,
+        ace=dyn.ace,
+        ace_pred=dyn.ace_pred,
+        mispredicted=dyn.mispredicted,
+        l1_miss=dyn.l1_miss,
+        l2_miss=dyn.l2_miss,
+    )
+
+
+class PipelineTracer:
+    """Records TraceEvents by hooking the pipeline's commit/squash paths."""
+
+    def __init__(self, pipeline: SMTPipeline, limit: int = 100_000,
+                 include_squashed: bool = True):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.pipeline = pipeline
+        self.limit = limit
+        self.include_squashed = include_squashed
+        self.events: list[TraceEvent] = []
+        self._orig_commit = None
+        self._orig_squash = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "PipelineTracer":
+        pipe = self.pipeline
+        self._orig_commit = pipe.analyzer.commit
+        self._orig_squash = pipe._squash_thread
+
+        def commit_hook(dyn, cycle):
+            if len(self.events) < self.limit:
+                self.events.append(_event_of(dyn))
+            self._orig_commit(dyn, cycle)
+
+        def squash_hook(tid, after_tag):
+            squashed = self._orig_squash(tid, after_tag)
+            if self.include_squashed:
+                for dyn in squashed:
+                    if len(self.events) >= self.limit:
+                        break
+                    self.events.append(_event_of(dyn))
+            return squashed
+
+        pipe.analyzer.commit = commit_hook
+        pipe._squash_thread = squash_hook
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.pipeline.analyzer.commit = self._orig_commit
+        self.pipeline._squash_thread = self._orig_squash
+
+    # ------------------------------------------------------------------
+    def committed(self) -> list[TraceEvent]:
+        return [e for e in self.events if not e.squashed]
+
+    def of_thread(self, tid: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.thread == tid]
+
+    def summary(self) -> dict:
+        """Aggregate stage-latency statistics over committed events."""
+        done = [e for e in self.committed() if e.commit >= 0 and e.fetch >= 0]
+        if not done:
+            return {"events": len(self.events), "committed": 0}
+        n = len(done)
+
+        def mean(f):
+            return sum(f(e) for e in done) / n
+
+        return {
+            "events": len(self.events),
+            "committed": n,
+            "squashed": sum(1 for e in self.events if e.squashed),
+            "mean_total_latency": mean(lambda e: e.total_latency),
+            "mean_iq_residency": mean(lambda e: e.iq_residency),
+            "mean_fetch_to_dispatch": mean(
+                lambda e: max(e.dispatch - e.fetch, 0) if e.dispatch >= 0 else 0
+            ),
+            "ace_fraction": sum(1 for e in done if e.ace) / n,
+            "l2_miss_loads": sum(1 for e in done if e.l2_miss),
+        }
+
+    def to_jsonl(self, path: str) -> int:
+        """Write one JSON object per event; returns the event count."""
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(asdict(event)) + "\n")
+        return len(self.events)
+
+    @staticmethod
+    def read_jsonl(path: str) -> list[TraceEvent]:
+        events = []
+        with open(path) as fh:
+            for line in fh:
+                if line.strip():
+                    events.append(TraceEvent(**json.loads(line)))
+        return events

@@ -1,0 +1,32 @@
+"""Synthetic ISA and workload substrate.
+
+The paper evaluates on SPEC CPU2000 Alpha binaries; those are
+unavailable here, so this package provides the closest synthetic
+equivalent: a compact RISC-like ISA (:mod:`repro.isa.instruction`),
+control-flow-graph programs (:mod:`repro.isa.program`), a seeded
+generator that emits programs from per-benchmark *personalities*
+(:mod:`repro.isa.generator`), and the 18 SPEC2000 personalities used in
+Table 1 / Table 3 of the paper (:mod:`repro.isa.personalities`).
+"""
+
+from repro.isa.instruction import DynInst, OpClass, StaticInst
+from repro.isa.program import BasicBlock, SyntheticProgram, ThreadContext
+from repro.isa.generator import ProgramGenerator
+from repro.isa.personalities import (
+    BenchmarkPersonality,
+    PERSONALITIES,
+    get_personality,
+)
+
+__all__ = [
+    "OpClass",
+    "StaticInst",
+    "DynInst",
+    "BasicBlock",
+    "SyntheticProgram",
+    "ThreadContext",
+    "ProgramGenerator",
+    "BenchmarkPersonality",
+    "PERSONALITIES",
+    "get_personality",
+]

@@ -1,0 +1,711 @@
+"""Seeded synthetic-program generator.
+
+Generates a :class:`~repro.isa.program.SyntheticProgram` from a
+:class:`~repro.isa.personalities.BenchmarkPersonality`.  The emitted
+program is a control-flow skeleton of loop *units* — each a loop whose
+body optionally contains an if-diamond and a function call — populated
+with instructions whose operand structure realizes the personality's
+dependence-width, dead-code and conditional-consumption parameters.
+
+Reliability structure — the generator separates three populations so
+the per-PC ACE classification experiment (Table 1) is meaningful:
+
+* **Live values** are tracked in an *unread pool*: every live write is
+  guaranteed to be read on every execution path (consumers pop the
+  pool; leftovers are folded by reduction instructions whose final
+  value feeds the loop back-branch or a store).  Their instances are
+  deterministically ACE.
+* **Dead chains** write a dedicated register subset read only by other
+  dead instructions; transitively they never reach a store/branch, so
+  their instances are deterministically un-ACE.
+* **Conditionally consumed values** flip per instance: diamond
+  providers are stored only on the (rarely taken) consuming arm, and
+  loop-exit providers are rewritten every iteration but read only after
+  the loop exits (the paper's "ACE only in the last iteration"
+  example).  These produce the false positives of Table 1.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.isa.instruction import (
+    BranchBehavior,
+    MemBehavior,
+    MemPattern,
+    OpClass,
+    StaticInst,
+)
+from repro.isa.personalities import BenchmarkPersonality
+from repro.isa.program import BasicBlock, SyntheticProgram
+
+# Architectural register file layout used by generated code.
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+INT_LIVE = list(range(0, 16))
+# The first few live registers are *invariants*: rewritten only once per
+# loop activation (like base pointers / globals in real code), they give
+# fallback reads a long-ready value instead of a serializing recent one.
+INT_INV = INT_LIVE[:4]
+INT_ROT = INT_LIVE[4:]
+INT_DEAD = list(range(16, 22))
+INT_COND = list(range(22, 31))  # conditionally-consumed values
+INT_COND_DIAMOND = INT_COND[:6]  # consumed on one diamond arm only
+INT_COND_LOOP = INT_COND[6:]  # consumed only after loop exit
+INT_INDUCTION = 31
+FP_BASE = NUM_INT_REGS
+FP_LIVE = [FP_BASE + r for r in range(0, 20)]
+FP_INV = FP_LIVE[:3]
+FP_ROT = FP_LIVE[3:]
+FP_DEAD = [FP_BASE + r for r in range(20, 28)]
+FP_COND = [FP_BASE + r for r in range(28, 32)]  # diamond-consumed FP values
+
+_DATA_REGION_BASE = 0x10_0000
+_PC_BASE = 0x1000
+_PC_STEP = 4
+
+_FP_OPS = frozenset({OpClass.FALU, OpClass.FMULT, OpClass.FDIV, OpClass.FSQRT})
+
+
+class _UnreadPool:
+    """Live values written but not yet read, per register class.
+
+    The pool is the generator's guarantee machinery: a value enters on
+    write and leaves on first read; whatever remains at a flush point is
+    folded into reduction instructions so no live write is ever left
+    unread on the executed path.
+    """
+
+    __slots__ = ("int_vals", "fp_vals", "width")
+
+    def __init__(self, width: int):
+        self.int_vals: list[int] = []
+        self.fp_vals: list[int] = []
+        self.width = max(width, 1)
+
+    def pool(self, fp: bool) -> list[int]:
+        return self.fp_vals if fp else self.int_vals
+
+    def push(self, reg: int, fp: bool) -> None:
+        self.pool(fp).append(reg)
+
+    def pop(self, fp: bool, rng) -> int | None:
+        pool = self.pool(fp)
+        if not pool:
+            return None
+        if len(pool) >= self.width:
+            return pool.pop(0)  # force-consume the oldest
+        return pool.pop(int(rng.integers(0, len(pool))))
+
+    def snapshot(self) -> tuple[list[int], list[int]]:
+        return list(self.int_vals), list(self.fp_vals)
+
+    def restore(self, snap: tuple[list[int], list[int]]) -> None:
+        self.int_vals, self.fp_vals = list(snap[0]), list(snap[1])
+
+
+class ProgramGenerator:
+    """Generate synthetic programs for a benchmark personality.
+
+    The same ``(personality, seed)`` pair always yields the identical
+    program, and all of the program's dynamic behaviour is itself a
+    pure function of the seed, so simulations are fully reproducible.
+    """
+
+    def __init__(self, personality: BenchmarkPersonality, seed: int = 0):
+        personality.validate()
+        self.p = personality
+        self.seed = seed
+        # zlib.crc32 is process-stable (str.__hash__ is salted and would
+        # break run-to-run reproducibility).
+        name_key = zlib.crc32(personality.name.encode())
+        self.rng = np.random.default_rng(
+            np.random.SeedSequence([seed & 0x7FFFFFFF, name_key & 0x7FFFFFFF])
+        )
+        self._next_pc = _PC_BASE
+        self._blocks: list[BasicBlock] = []
+        self._unread = _UnreadPool(width=max(3, round(personality.dep_distance_mean * 1.5)))
+        self._live_int_rr = 0
+        self._live_fp_rr = 0
+        self._dead_rr = 0
+        self._last_load_dest: int | None = None
+        self._mix_ops, self._mix_weights = self._normalized_mix()
+        # Program-level data regions (shared by all static memory
+        # instructions, like real arrays/heaps): one hot region that
+        # fits in L1, four streaming arrays, one random-access heap.
+        self._hot_base = _DATA_REGION_BASE
+        heap = _DATA_REGION_BASE + (1 << 24)
+        # The four streaming arrays together span the declared footprint
+        # (each is footprint/4), so a personality's total data working
+        # set is ~2x its footprint (arrays + random heap).
+        self._seq_span = max(personality.mem_footprint // 4, 1 << 14)
+        self._seq_bases = [heap + i * self._seq_span for i in range(4)]
+        self._rand_base = heap + 5 * max(personality.mem_footprint, 1 << 16)
+        self._fp_share = sum(w for o, w in personality.mix.items() if o in _FP_OPS)
+        ld = personality.mix.get(OpClass.LOAD, 0.0)
+        self._fp_load_share = min(0.9, self._fp_share * 2.0) if ld else 0.0
+
+    # ------------------------------------------------------------------
+    def _normalized_mix(self) -> tuple[list[OpClass], np.ndarray]:
+        ops = list(self.p.mix.keys())
+        w = np.array([self.p.mix[o] for o in ops], dtype=float)
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("instruction mix weights sum to zero")
+        return ops, w / total
+
+    def _pc(self) -> int:
+        pc = self._next_pc
+        self._next_pc += _PC_STEP
+        return pc
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(bid=len(self._blocks))
+        self._blocks.append(block)
+        return block
+
+    # ------------------------------------------------------------------
+    # Operand machinery
+    # ------------------------------------------------------------------
+    def _fresh_live_dest(self, fp: bool, insts: list[StaticInst] | None = None) -> int:
+        """Round-robin a live destination register and mark it unread.
+
+        Never overwrites a register whose value is still unread (that
+        would silently kill a "guaranteed live" value); under register
+        pressure, pending values are folded first via a reduction
+        instruction appended to ``insts``.
+        """
+        pool_regs = FP_LIVE if fp else INT_LIVE
+        pending = self._unread.pool(fp)
+        if insts is not None and len(pending) >= len(pool_regs) - 1:
+            a, b = pending.pop(0), pending.pop(0)
+            op = OpClass.FALU if fp else OpClass.IALU
+            dest = self._pick_free_live_reg(fp)
+            insts.append(StaticInst(pc=self._pc(), opclass=op, dest=dest, srcs=(a, b)))
+            self._unread.push(dest, fp)
+        reg = self._pick_free_live_reg(fp)
+        self._unread.push(reg, fp)
+        return reg
+
+    def _pick_free_live_reg(self, fp: bool) -> int:
+        """Next round-robin rotating live register not currently holding
+        an unread value (invariant registers are never rotated over)."""
+        pool_regs = FP_ROT if fp else INT_ROT
+        pending = self._unread.pool(fp)
+        for _ in range(len(pool_regs)):
+            if fp:
+                reg = FP_ROT[self._live_fp_rr % len(FP_ROT)]
+                self._live_fp_rr += 1
+            else:
+                reg = INT_ROT[self._live_int_rr % len(INT_ROT)]
+                self._live_int_rr += 1
+            if reg not in pending:
+                return reg
+        # Pathological pressure: sacrifice the oldest pending value.
+        return pending.pop(0)
+
+    def _dead_dest(self, fp: bool) -> int:
+        pool = FP_DEAD if fp else INT_DEAD
+        reg = pool[self._dead_rr % len(pool)]
+        self._dead_rr += 1
+        return reg
+
+    def _live_src(self, fp: bool) -> int:
+        """A source read: prefer an unread value (guaranteeing its
+        liveness); fall back to an arbitrary already-read live register
+        (extra reads are always safe)."""
+        reg = self._unread.pop(fp, self.rng)
+        if reg is not None:
+            return reg
+        return self._any_live_reg(fp)
+
+    def _any_live_reg(self, fp: bool) -> int:
+        """A safe extra read: usually an invariant (long-ready, like a
+        base pointer), sometimes a rotating live register."""
+        if self.rng.random() < 0.65:
+            pool = FP_INV if fp else INT_INV
+        else:
+            pool = FP_ROT if fp else INT_ROT
+        return int(self.rng.choice(pool))
+
+    def _dead_src(self, fp: bool) -> int:
+        pool = FP_DEAD if fp else INT_DEAD
+        return int(self.rng.choice(pool))
+
+    # ------------------------------------------------------------------
+    # Instruction emission
+    # ------------------------------------------------------------------
+    def _mem_behavior(self) -> MemBehavior:
+        patterns = list(self.p.mem_pattern_weights.keys())
+        weights = np.array([self.p.mem_pattern_weights[k] for k in patterns], dtype=float)
+        weights = weights / weights.sum()
+        pattern = patterns[int(self.rng.choice(len(patterns), p=weights))]
+        footprint = self.p.mem_footprint
+        if pattern == MemPattern.HOT:
+            base = self._hot_base
+        elif pattern == MemPattern.SEQUENTIAL:
+            base = self._seq_bases[int(self.rng.integers(0, len(self._seq_bases)))]
+            footprint = self._seq_span
+        else:
+            base = self._rand_base
+        stride = int(self.rng.choice([8, 8, 8, 16, 32]))
+        return MemBehavior(
+            pattern=pattern,
+            base=base,
+            footprint=footprint,
+            stride=stride,
+            advance_shift=self.p.seq_advance_shift,
+            hot_size=self.p.hot_set_size,
+            page_local_16=self.p.rand_page_local_16,
+        )
+
+    def _emit_store(self, insts: list[StaticInst], value_reg: int | None = None) -> None:
+        if value_reg is None:
+            fp_value = self.rng.random() < self._fp_share
+            value_reg = self._live_src(fp_value)
+        addr = self._live_src(fp=False)
+        insts.append(
+            StaticInst(
+                pc=self._pc(), opclass=OpClass.STORE,
+                srcs=(value_reg, addr), mem=self._mem_behavior(),
+            )
+        )
+
+    def _emit_body_inst(self, insts: list[StaticInst]) -> None:
+        """Append one non-control instruction sampled from the mix."""
+        r = self.rng.random()
+        if r < self.p.nop_frac:
+            insts.append(StaticInst(pc=self._pc(), opclass=OpClass.NOP))
+            return
+        if r < self.p.nop_frac + self.p.prefetch_frac:
+            insts.append(
+                StaticInst(
+                    pc=self._pc(), opclass=OpClass.PREFETCH,
+                    srcs=(self._any_live_reg(fp=False),), mem=self._mem_behavior(),
+                )
+            )
+            return
+        op = self._mix_ops[int(self.rng.choice(len(self._mix_ops), p=self._mix_weights))]
+        dead = self.rng.random() < self.p.dead_frac
+        if op == OpClass.LOAD:
+            self._emit_load(insts, dead)
+        elif op == OpClass.STORE:
+            self._emit_store(insts)
+        else:
+            fp = op in _FP_OPS
+            if dead:
+                # Dead chain: reads stay inside the dead population (or
+                # re-read live registers, which is harmless).
+                if self.rng.random() < 0.5:
+                    srcs: tuple[int, ...] = (self._dead_src(fp), self._dead_src(fp))
+                else:
+                    srcs = (self._any_live_reg(fp), self._dead_src(fp))
+                dest = self._dead_dest(fp)
+            else:
+                first = None
+                # Memory-bound codes hang much of their computation off
+                # recent load results; consuming the pending load value
+                # makes an L2 miss stall its dependence tree in the IQ.
+                if (
+                    not fp
+                    and self._last_load_dest is not None
+                    and self.rng.random() < self.p.load_dep_frac
+                ):
+                    pool = self._unread.pool(False)
+                    if self._last_load_dest in pool:
+                        pool.remove(self._last_load_dest)
+                    first = self._last_load_dest
+                if first is None:
+                    first = self._live_src(fp)
+                # A sparing second operand keeps chains independent
+                # (ILP); when used, it prefers the latest load result —
+                # the operand fan-out of real code that makes an L2-miss
+                # return wake a burst of instructions at once.
+                if self.rng.random() < 0.3:
+                    if not fp and self._last_load_dest is not None and self.rng.random() < 0.5:
+                        second = self._last_load_dest
+                    else:
+                        second = self._any_live_reg(fp)
+                    srcs = (first, second)
+                else:
+                    srcs = (first,)
+                dest = self._fresh_live_dest(fp, insts)
+            insts.append(StaticInst(pc=self._pc(), opclass=op, dest=dest, srcs=srcs))
+
+    def _emit_load(self, insts: list[StaticInst], dead: bool) -> None:
+        chained = (
+            self._last_load_dest is not None
+            and self.rng.random() < self.p.load_chain_frac
+        )
+        if chained:
+            addr_reg = self._last_load_dest
+        elif dead:
+            # A dead load's read must not satisfy the unread pool: an
+            # un-ACE reader cannot keep a live value live.
+            addr_reg = self._any_live_reg(fp=False)
+        else:
+            addr_reg = self._live_src(fp=False)
+        fp_dest = self.rng.random() < self._fp_load_share
+        dest = self._dead_dest(fp_dest) if dead else self._fresh_live_dest(fp_dest, insts)
+        insts.append(
+            StaticInst(
+                pc=self._pc(), opclass=OpClass.LOAD, dest=dest,
+                srcs=(addr_reg,), mem=self._mem_behavior(),
+            )
+        )
+        if not fp_dest and not dead:
+            self._last_load_dest = dest
+
+    def _emit_induction(self, insts: list[StaticInst]) -> None:
+        insts.append(
+            StaticInst(
+                pc=self._pc(), opclass=OpClass.IALU,
+                dest=INT_INDUCTION, srcs=(INT_INDUCTION,),
+            )
+        )
+
+    def _flush_unread(self, insts: list[StaticInst], keep: int = 1) -> None:
+        """Fold pending unread values down to ``keep`` per class using
+        reduction instructions (each reads two pending values, writes a
+        new pending one)."""
+        for fp, op in ((False, OpClass.IALU), (True, OpClass.FALU)):
+            pool = self._unread.pool(fp)
+            while len(pool) > keep and len(pool) >= 2:
+                a = pool.pop(0)
+                b = pool.pop(0)
+                dest = self._pick_free_live_reg(fp)
+                self._unread.push(dest, fp)
+                insts.append(StaticInst(pc=self._pc(), opclass=op, dest=dest, srcs=(a, b)))
+        # Any remaining FP value is consumed by a store (branches can
+        # only read integer registers).
+        fp_pool = self._unread.pool(True)
+        if keep == 0 and fp_pool:
+            self._emit_store(insts, value_reg=fp_pool.pop(0))
+        int_pool = self._unread.pool(False)
+        if keep == 0 and int_pool:
+            self._emit_store(insts, value_reg=int_pool.pop(0))
+
+    def _drain_fp_for_tail(self, insts: list[StaticInst]) -> int | None:
+        """Before a loop back-branch: fold everything to one *integer*
+        value the branch can read; stores drain FP leftovers."""
+        self._flush_unread(insts, keep=1)
+        fp_pool = self._unread.pool(True)
+        while fp_pool:
+            self._emit_store(insts, value_reg=fp_pool.pop(0))
+        int_pool = self._unread.pool(False)
+        return int_pool.pop(0) if int_pool else None
+
+    def _fill_block(self, block: BasicBlock, n_body: int) -> None:
+        self._emit_induction(block.insts)
+        for _ in range(max(n_body, 0)):
+            self._emit_body_inst(block.insts)
+
+    def _block_size(self) -> int:
+        return int(self.rng.poisson(max(self.p.block_size_mean - 2, 0))) + 2
+
+    def _cond_branch(self, taken_block: int, fall_block: int,
+                     bias: float | None = None,
+                     predictability: float | None = None,
+                     extra_src: int | None = None) -> StaticInst:
+        srcs: tuple[int, ...] = (INT_INDUCTION,)
+        if extra_src is not None:
+            srcs = (INT_INDUCTION, extra_src)
+        return StaticInst(
+            pc=self._pc(), opclass=OpClass.BRANCH, srcs=srcs,
+            branch=BranchBehavior(
+                taken_bias=self.p.branch_taken_bias if bias is None else bias,
+                predictability=(
+                    self.p.branch_predictability if predictability is None else predictability
+                ),
+            ),
+            taken_block=taken_block, fall_block=fall_block,
+        )
+
+    # ------------------------------------------------------------------
+    # Program skeleton
+    # ------------------------------------------------------------------
+    def generate(self) -> SyntheticProgram:
+        """Build and validate the program."""
+        p = self.p
+        n_funcs = max(1, round(p.num_units * p.call_frac)) if p.call_frac > 0 else 0
+
+        # Functions first: loop-body stream lengths must be known when
+        # the units' back-branches are created.
+        self._funcs: list[tuple[int, int]] = []  # (entry block id, stream length)
+        for _ in range(n_funcs):
+            self._funcs.append(self._gen_function())
+
+        unit_entries: list[int] = []
+        unit_tails: list[BasicBlock] = []
+
+        # Registers written by unit i's loop-exit providers, consumed by
+        # unit i+1's entry (i.e. only after unit i's loop has exited).
+        pending_consume: list[int] = []
+        for i in range(p.num_units):
+            entry_id, tail, pending_consume = self._gen_unit(i, pending_consume)
+            unit_entries.append(entry_id)
+            unit_tails.append(tail)
+
+        # Chain units; the final unit falls into a wrap block that jumps
+        # back to unit 0.
+        wrap = self._new_block()
+        self._fill_block(wrap, 1)
+        for reg in pending_consume:
+            self._emit_store(wrap.insts, value_reg=reg)
+        self._flush_unread(wrap.insts, keep=0)  # nothing leaks across the outer loop
+        wrap.insts.append(
+            StaticInst(pc=self._pc(), opclass=OpClass.JUMP, taken_block=unit_entries[0])
+        )
+        for i, tail in enumerate(unit_tails):
+            nxt = unit_entries[i + 1] if i + 1 < len(unit_tails) else wrap.bid
+            term = tail.insts[-1]
+            term.fall_block = nxt
+
+        program = SyntheticProgram(
+            name=p.name, blocks=self._blocks, entry=unit_entries[0], seed=self.seed
+        )
+        program.validate()
+        return program
+
+    def _gen_unit(
+        self, unit_idx: int, pending_consume: list[int]
+    ) -> tuple[int, BasicBlock, list[int]]:
+        """Generate one loop unit.
+
+        Returns ``(entry block id, tail block, providers)`` where
+        ``providers`` are the loop-exit provider registers written in
+        this unit's tail, consumed by the *next* unit's entry.
+        """
+        p = self.p
+        path_len = 0  # stream length of one loop iteration
+        entry = self._new_block()
+        self._emit_induction(entry.insts)
+        # Refresh one invariant register per activation (base-pointer
+        # style: written rarely, read everywhere).
+        inv = INT_INV[unit_idx % len(INT_INV)]
+        entry.insts.append(
+            StaticInst(pc=self._pc(), opclass=OpClass.IALU, dest=inv, srcs=(inv,))
+        )
+        if self._fp_share > 0:
+            finv = FP_INV[unit_idx % len(FP_INV)]
+            entry.insts.append(
+                StaticInst(pc=self._pc(), opclass=OpClass.FALU, dest=finv, srcs=(finv,))
+            )
+        # Consume the previous unit's loop-exit providers: this block
+        # executes only after that unit's loop has exited.
+        for reg in pending_consume:
+            self._emit_store(entry.insts, value_reg=reg)
+        for _ in range(max(self._block_size() - 2, 1)):
+            self._emit_body_inst(entry.insts)
+
+        current = entry
+        # High-cond-consumption personalities always carry the diamond
+        # (it is the conditional-consumption vehicle).
+        diamond_p = max(p.diamond_frac, 1.0 if p.cond_consume_frac >= 0.08 else 0.0)
+        if self.rng.random() < diamond_p:
+            current, diamond_len = self._gen_diamond(entry)
+            path_len += diamond_len
+        path_len += len(entry.insts)
+
+        if self._funcs and self.rng.random() < p.call_frac:
+            callblk = self._new_block()
+            current.fall_block = callblk.bid
+            self._fill_block(callblk, max(self._block_size() - 2, 1))
+            after = self._new_block()
+            fentry, flen = self._funcs[int(self.rng.integers(0, len(self._funcs)))]
+            call = StaticInst(
+                pc=self._pc(), opclass=OpClass.CALL,
+                taken_block=fentry, fall_block=after.bid,
+            )
+            callblk.insts.append(call)
+            self._fill_block(after, max(self._block_size() - 2, 1))
+            path_len += len(callblk.insts) + flen + len(after.insts)
+            current = after
+
+        tail = self._new_block()
+        current.fall_block = tail.bid
+        self._fill_block(tail, self._block_size() - 2)
+        # Loop-exit providers: rewritten every iteration, consumed only
+        # after the loop exits, so only the final instance is ACE.
+        providers: list[int] = []
+        if p.cond_consume_frac > 0:
+            # Integer-only personalities cannot host FP diamond
+            # providers, so their loop-exit population carries more of
+            # the conditional-consumption budget.
+            mult = 24.0 if self._fp_share == 0 else 12.0
+            n_loop = min(
+                len(INT_COND_LOOP), int(self.rng.poisson(p.cond_consume_frac * mult))
+            )
+            for j in range(n_loop):
+                reg = INT_COND_LOOP[(unit_idx + j) % len(INT_COND_LOOP)]
+                if reg in providers:
+                    continue
+                tail.insts.append(
+                    StaticInst(
+                        pc=self._pc(), opclass=OpClass.IALU, dest=reg,
+                        srcs=(self._any_live_reg(fp=False),),
+                    )
+                )
+                providers.append(reg)
+        # Fold all pending live values into one integer the back-branch
+        # reads, so nothing leaks across iterations.
+        extra = self._drain_fp_for_tail(tail.insts)
+        # Quasi-constant trip count per static loop (what real loops do,
+        # and what history-based predictors learn).  Activations enter
+        # the iteration counter at a random phase, so the mean iteration
+        # count per activation is ~half the counter period: double it so
+        # the realized mean matches ``loop_trip_mean``.
+        trip = max(3, 2 * int(round(self.rng.normal(p.loop_trip_mean, p.loop_trip_mean / 4))))
+        path_len += len(tail.insts) + 1  # + the back-branch itself
+        back = self._cond_branch(
+            taken_block=entry.bid, fall_block=-1,  # patched by caller
+            bias=(trip - 1.0) / trip, predictability=0.0, extra_src=extra,
+        )
+        back.branch.loop_period = path_len
+        back.branch.loop_trip = trip
+        tail.insts.append(back)
+        return entry.bid, tail, providers
+
+    def _gen_diamond(self, pre: BasicBlock) -> tuple[BasicBlock, int]:
+        """Append an if-diamond after ``pre``; returns ``(join block,
+        stream length of arm + join)``.  Arms are padded to the same
+        instruction count so every path through the diamond advances the
+        stream position equally (constant loop periods).
+
+        Conditional consumption: values written in ``pre`` into
+        diamond-COND registers are stored (consumed → ACE) on the taken
+        arm and overwritten (dead) on the fall arm.  Arm-internal live
+        values are fully folded inside each arm, with each arm's final
+        value written to a shared φ-merge register read in the join, so
+        arm instructions themselves stay deterministically ACE.
+        """
+        p = self.p
+        cond_regs: list[tuple[int, bool]] = []  # (reg, is_fp)
+        # Conditional consumption is concentrated in few diamonds with
+        # many providers each (rather than one provider everywhere):
+        # the same mispredicted-instance budget with far fewer
+        # hard-to-predict branches polluting the global history.
+        p_cond = min(1.0, p.cond_consume_frac * 2.5)
+        if p.cond_consume_frac > 0 and self.rng.random() < p_cond:
+            want = max(1, round(p.cond_consume_frac * 28.0 / p_cond))
+            n_int = min(len(INT_COND_DIAMOND), want)
+            # FP providers only for personalities that execute FP code.
+            n_fp = min(len(FP_COND), want - n_int) if self._fp_share > 0 else 0
+            for i in range(n_int):
+                cond_regs.append((INT_COND_DIAMOND[i], False))
+            for i in range(n_fp):
+                cond_regs.append((FP_COND[i], True))
+        for reg, fp in cond_regs:
+            op = OpClass.FALU if fp else OpClass.IALU
+            src = self._any_live_reg(fp)
+            pre.insts.append(
+                StaticInst(pc=self._pc(), opclass=op, dest=reg, srcs=(src,))
+            )
+        # Settle pre-block live values before control diverges.
+        self._flush_unread(pre.insts, keep=1)
+        pre_snapshot = self._unread.snapshot()
+
+        arm_taken = self._new_block()
+        arm_fall = self._new_block()
+        join = self._new_block()
+
+        if cond_regs:
+            # High-cond-consumption personalities take the consuming arm
+            # rarely, so most provider instances die unconsumed.  These
+            # branches must stay per-instance random (both arms execute).
+            arm_bias = max(0.10, 0.5 - 1.5 * p.cond_consume_frac)
+            predictability = min(p.branch_predictability, 0.6)
+        elif self.rng.random() < p.branch_predictability:
+            # Most real branches are statically one-sided; deterministic
+            # outcomes are what makes gshare learnable.
+            arm_bias = 1.0 if self.rng.random() < 0.5 else 0.0
+            predictability = 1.0
+        else:
+            arm_bias, predictability = 0.5, 0.0
+        br = self._cond_branch(
+            taken_block=arm_taken.bid, fall_block=arm_fall.bid,
+            bias=arm_bias, predictability=predictability,
+        )
+        pre.insts.append(br)
+
+        phi_reg = self._pick_free_live_reg(fp=False)
+
+        def _gen_arm(arm: BasicBlock, consume: bool) -> None:
+            self._unread.restore(pre_snapshot)
+            self._fill_block(arm, max(self._block_size() - 2, 1))
+            if consume:
+                for reg, _fp in cond_regs:  # consumed → instances on this arm are ACE
+                    self._emit_store(arm.insts, value_reg=reg)
+            else:
+                for reg, fp in cond_regs:  # overwritten → prior instance was dead
+                    op = OpClass.FALU if fp else OpClass.IALU
+                    arm.insts.append(
+                        StaticInst(
+                            pc=self._pc(), opclass=op, dest=reg,
+                            srcs=(self._any_live_reg(fp),),
+                        )
+                    )
+            # Fold everything the arm created into the φ register.
+            self._flush_unread(arm.insts, keep=1)
+            fp_pool = self._unread.pool(True)
+            while fp_pool:
+                self._emit_store(arm.insts, value_reg=fp_pool.pop(0))
+            int_pool = self._unread.pool(False)
+            src = int_pool.pop(0) if int_pool else self._any_live_reg(fp=False)
+            arm.insts.append(
+                StaticInst(pc=self._pc(), opclass=OpClass.IALU, dest=phi_reg, srcs=(src,))
+            )
+            arm.fall_block = join.bid
+
+        _gen_arm(arm_taken, consume=True)
+        _gen_arm(arm_fall, consume=False)
+
+        # Equalize arm stream lengths with dead filler so both paths
+        # advance the fetch stream identically.
+        short, long_ = sorted((arm_taken, arm_fall), key=lambda b: len(b.insts))
+        while len(short.insts) < len(long_.insts):
+            short.insts.append(
+                StaticInst(
+                    pc=self._pc(), opclass=OpClass.IALU,
+                    dest=self._dead_dest(False), srcs=(self._dead_src(False),),
+                )
+            )
+
+        # The join reads the φ register, making both arms' chains ACE
+        # regardless of which arm executed.
+        self._unread.restore(pre_snapshot)
+        self._unread.push(phi_reg, fp=False)
+        self._fill_block(join, max(self._block_size() - 2, 1))
+        # Guarantee the φ value is consumed even if no join instruction
+        # happened to pop it.
+        if phi_reg in self._unread.pool(False):
+            self._unread.pool(False).remove(phi_reg)
+            self._emit_store(join.insts, value_reg=phi_reg)
+        return join, len(arm_taken.insts) + len(join.insts)
+
+    def _gen_function(self) -> tuple[int, int]:
+        """Generate a small callee function; returns ``(entry block id,
+        stream length including the RET)``."""
+        outer = self._unread.snapshot()
+        self._unread.int_vals = []
+        self._unread.fp_vals = []
+        entry = self._new_block()
+        self._fill_block(entry, self._block_size())
+        tail = self._new_block()
+        entry.fall_block = tail.bid
+        self._fill_block(tail, max(self._block_size() - 2, 1))
+        # Nothing may escape the function unread (dynamic callers vary).
+        self._flush_unread(tail.insts, keep=0)
+        tail.insts.append(StaticInst(pc=self._pc(), opclass=OpClass.RET))
+        self._unread.restore(outer)
+        return entry.bid, len(entry.insts) + len(tail.insts)
+
+
+def generate_program(name: str, seed: int = 0) -> SyntheticProgram:
+    """Convenience: generate the synthetic stand-in for a SPEC2000
+    benchmark by name."""
+    from repro.isa.personalities import get_personality
+
+    return ProgramGenerator(get_personality(name), seed=seed).generate()

@@ -1,0 +1,252 @@
+"""Per-benchmark workload personalities.
+
+The paper evaluates on 18 SPEC CPU2000 benchmarks (Table 1) combined
+into 9 four-thread mixes (Table 3).  SPEC binaries are unavailable
+here, so each benchmark is replaced by a *personality*: a parameter set
+for the synthetic program generator that reproduces the
+characteristics the paper's results actually depend on — instruction
+mix, ILP (dependence distance), memory footprint and locality (hence
+L1/L2 miss rates), branch predictability, the fraction of dynamically
+dead code (hence ACE instruction fraction), and the fraction of
+conditionally consumed values (hence the per-PC ACE classification
+accuracy of Table 1).
+
+Parameter values are hand-calibrated from well-known SPEC2000
+characterizations: ``mcf`` is a pointer-chasing memory monster, ``swim``
+/ ``lucas`` / ``equake`` / ``galgel`` are FP memory-bound, ``bzip2`` /
+``gcc`` / ``eon`` / ``perlbmk`` / ``crafty`` / ``gap`` are integer
+compute-bound, ``mesa`` / ``facerec`` are FP compute-bound, and
+``twolf`` / ``vpr`` are integer codes with poor locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import MemPattern, OpClass
+
+
+@dataclass(frozen=True)
+class BenchmarkPersonality:
+    """Generator parameters for one synthetic benchmark."""
+
+    name: str
+    category: str  # "cpu" or "mem" (Table 3 grouping)
+    # Instruction mix over non-control, non-terminator slots.
+    # Fractions are normalized by the generator.
+    mix: dict[OpClass, float] = field(default_factory=dict)
+    # Control-flow shape.
+    block_size_mean: int = 6  # instructions per basic block (incl. terminator)
+    num_units: int = 14  # loop units in the program skeleton
+    diamond_frac: float = 0.5  # probability a loop body contains an if-diamond
+    call_frac: float = 0.15  # probability a unit body calls a function
+    loop_trip_mean: float = 24.0  # mean loop trip count (geometric)
+    branch_predictability: float = 0.85
+    branch_taken_bias: float = 0.55
+    # Data-flow shape.
+    dep_distance_mean: float = 8.0  # how far back operands reach (bigger = more ILP)
+    load_chain_frac: float = 0.0  # P(load address depends on a previous load)
+    load_dep_frac: float = 0.12  # P(an ALU op consumes the latest load result)
+    # Memory behaviour.
+    mem_footprint: int = 512 * 1024  # bytes of the main data region
+    mem_pattern_weights: dict[MemPattern, float] = field(
+        default_factory=lambda: {MemPattern.HOT: 0.6, MemPattern.SEQUENTIAL: 0.3, MemPattern.RANDOM: 0.1}
+    )
+    hot_set_size: int = 8 * 1024
+    # Page locality of RANDOM accesses: n/16 stay in a 64KB window.
+    rand_page_local_16: int = 15
+    # SEQUENTIAL streams advance one stride per 2**seq_advance_shift
+    # instructions (CPU codes re-walk resident buffers; MEM codes sweep).
+    seq_advance_shift: int = 8
+    # Reliability structure.
+    dead_frac: float = 0.25  # P(an instruction's result feeds a dead chain)
+    cond_consume_frac: float = 0.03  # P(a value is consumed on only one diamond arm)
+    nop_frac: float = 0.06
+    prefetch_frac: float = 0.01
+    # Paper reference values for the experiment harness (Table 1).
+    ref_pc_accuracy: float | None = None
+
+    def validate(self) -> None:
+        if not self.mix:
+            raise ValueError(f"{self.name}: empty instruction mix")
+        if any(w < 0 for w in self.mix.values()):
+            raise ValueError(f"{self.name}: negative mix weight")
+        for frac_name in ("dead_frac", "cond_consume_frac", "nop_frac", "prefetch_frac",
+                          "diamond_frac", "call_frac", "load_chain_frac"):
+            v = getattr(self, frac_name)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{self.name}: {frac_name}={v} out of [0, 1]")
+        if self.block_size_mean < 2:
+            raise ValueError(f"{self.name}: block_size_mean must be >= 2")
+        if self.mem_footprint <= 0:
+            raise ValueError(f"{self.name}: mem_footprint must be positive")
+
+
+def _int_mix(load=0.25, store=0.12, imult=0.02, idiv=0.004) -> dict[OpClass, float]:
+    rest = 1.0 - load - store - imult - idiv
+    return {
+        OpClass.IALU: rest,
+        OpClass.IMULT: imult,
+        OpClass.IDIV: idiv,
+        OpClass.LOAD: load,
+        OpClass.STORE: store,
+    }
+
+
+def _fp_mix(load=0.3, store=0.12, falu=0.28, fmult=0.12, fdiv=0.015, fsqrt=0.003,
+            imult=0.005) -> dict[OpClass, float]:
+    rest = 1.0 - load - store - falu - fmult - fdiv - fsqrt - imult
+    return {
+        OpClass.IALU: rest,
+        OpClass.IMULT: imult,
+        OpClass.FALU: falu,
+        OpClass.FMULT: fmult,
+        OpClass.FDIV: fdiv,
+        OpClass.FSQRT: fsqrt,
+        OpClass.LOAD: load,
+        OpClass.STORE: store,
+    }
+
+
+_MB = 1024 * 1024
+_KB = 1024
+
+# Locality presets.
+_TIGHT = {MemPattern.HOT: 0.78, MemPattern.SEQUENTIAL: 0.18, MemPattern.RANDOM: 0.04}
+_STREAM = {MemPattern.HOT: 0.15, MemPattern.SEQUENTIAL: 0.75, MemPattern.RANDOM: 0.10}
+_POINTER = {MemPattern.HOT: 0.10, MemPattern.SEQUENTIAL: 0.10, MemPattern.RANDOM: 0.80}
+_LOOSE = {MemPattern.HOT: 0.35, MemPattern.SEQUENTIAL: 0.25, MemPattern.RANDOM: 0.40}
+
+
+PERSONALITIES: dict[str, BenchmarkPersonality] = {
+    p.name: p
+    for p in [
+        # ----- integer, compute-bound (CPU group) -----
+        BenchmarkPersonality(
+            name="bzip2", category="cpu", mix=_int_mix(load=0.26, store=0.12),
+            block_size_mean=7, dep_distance_mean=7.0, mem_footprint=256 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.88,
+            dead_frac=0.40, cond_consume_frac=0.22, ref_pc_accuracy=0.878,
+        ),
+        BenchmarkPersonality(
+            name="eon", category="cpu", mix=_fp_mix(load=0.24, store=0.14, falu=0.20, fmult=0.10),
+            block_size_mean=6, dep_distance_mean=9.0, mem_footprint=192 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.90,
+            dead_frac=0.38, cond_consume_frac=0.22, ref_pc_accuracy=0.876,
+        ),
+        BenchmarkPersonality(
+            name="gcc", category="cpu", mix=_int_mix(load=0.25, store=0.13),
+            block_size_mean=5, dep_distance_mean=7.0, mem_footprint=320 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.86,
+            branch_taken_bias=0.6, dead_frac=0.44, cond_consume_frac=0.035,
+            ref_pc_accuracy=0.965,
+        ),
+        BenchmarkPersonality(
+            name="perlbmk", category="cpu", mix=_int_mix(load=0.27, store=0.15),
+            block_size_mean=5, dep_distance_mean=8.0, mem_footprint=256 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.92,
+            dead_frac=0.36, cond_consume_frac=0.001, ref_pc_accuracy=0.999,
+        ),
+        BenchmarkPersonality(
+            name="gap", category="cpu", mix=_int_mix(load=0.24, store=0.11, imult=0.03),
+            block_size_mean=6, dep_distance_mean=8.0, mem_footprint=256 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.9,
+            dead_frac=0.40, cond_consume_frac=0.04, ref_pc_accuracy=0.959,
+        ),
+        BenchmarkPersonality(
+            name="facerec", category="cpu", mix=_fp_mix(load=0.28, store=0.1),
+            block_size_mean=8, dep_distance_mean=11.0, mem_footprint=384 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.93,
+            dead_frac=0.34, cond_consume_frac=0.06, ref_pc_accuracy=0.937,
+        ),
+        BenchmarkPersonality(
+            name="crafty", category="cpu", mix=_int_mix(load=0.28, store=0.09, imult=0.03),
+            block_size_mean=6, dep_distance_mean=9.0, mem_footprint=256 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.87,
+            dead_frac=0.42, cond_consume_frac=0.18, ref_pc_accuracy=0.894,
+        ),
+        BenchmarkPersonality(
+            name="mesa", category="cpu", mix=_fp_mix(load=0.25, store=0.14, falu=0.24),
+            block_size_mean=7, dep_distance_mean=10.0, mem_footprint=256 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.9,
+            dead_frac=0.40, cond_consume_frac=0.5, ref_pc_accuracy=0.749,
+        ),
+        # ----- memory-bound (MEM group) -----
+        BenchmarkPersonality(
+            name="mcf", category="mem", mix=_int_mix(load=0.34, store=0.10),
+            block_size_mean=5, dep_distance_mean=4.0, load_chain_frac=0.45,
+            mem_footprint=64 * _MB, mem_pattern_weights=_POINTER,
+            branch_predictability=0.8, dead_frac=0.38, cond_consume_frac=0.039,
+            seq_advance_shift=5, ref_pc_accuracy=0.961,
+        ),
+        BenchmarkPersonality(
+            name="equake", category="mem", mix=_fp_mix(load=0.34, store=0.12),
+            block_size_mean=8, dep_distance_mean=6.0, mem_footprint=32 * _MB,
+            mem_pattern_weights=_LOOSE, branch_predictability=0.92,
+            dead_frac=0.32, cond_consume_frac=0.009, seq_advance_shift=5, ref_pc_accuracy=0.991,
+        ),
+        BenchmarkPersonality(
+            name="vpr", category="mem", mix=_int_mix(load=0.3, store=0.11),
+            block_size_mean=5, dep_distance_mean=6.0, mem_footprint=16 * _MB,
+            mem_pattern_weights=_LOOSE, branch_predictability=0.82,
+            dead_frac=0.40, cond_consume_frac=0.3, seq_advance_shift=5, ref_pc_accuracy=0.818,
+        ),
+        BenchmarkPersonality(
+            name="swim", category="mem", mix=_fp_mix(load=0.33, store=0.15),
+            block_size_mean=10, dep_distance_mean=12.0, mem_footprint=48 * _MB,
+            mem_pattern_weights=_STREAM, branch_predictability=0.97,
+            branch_taken_bias=0.85, dead_frac=0.30, cond_consume_frac=0.002,
+            seq_advance_shift=5, ref_pc_accuracy=0.998,
+        ),
+        BenchmarkPersonality(
+            name="lucas", category="mem", mix=_fp_mix(load=0.3, store=0.14, fmult=0.18),
+            block_size_mean=10, dep_distance_mean=10.0, mem_footprint=32 * _MB,
+            mem_pattern_weights=_STREAM, branch_predictability=0.96,
+            branch_taken_bias=0.8, dead_frac=0.32, cond_consume_frac=0.008,
+            seq_advance_shift=5, ref_pc_accuracy=0.992,
+        ),
+        BenchmarkPersonality(
+            name="galgel", category="mem", mix=_fp_mix(load=0.3, store=0.1, falu=0.32),
+            block_size_mean=9, dep_distance_mean=11.0, mem_footprint=24 * _MB,
+            mem_pattern_weights=_LOOSE, branch_predictability=0.95,
+            dead_frac=0.34, cond_consume_frac=0.012, seq_advance_shift=5, ref_pc_accuracy=0.988,
+        ),
+        BenchmarkPersonality(
+            name="twolf", category="mem", mix=_int_mix(load=0.29, store=0.1),
+            block_size_mean=5, dep_distance_mean=6.0, mem_footprint=8 * _MB,
+            mem_pattern_weights=_LOOSE, branch_predictability=0.84,
+            dead_frac=0.40, cond_consume_frac=0.042, seq_advance_shift=5, ref_pc_accuracy=0.958,
+        ),
+        # ----- Table 1-only benchmarks (not in any Table 3 mix) -----
+        BenchmarkPersonality(
+            name="applu", category="mem", mix=_fp_mix(load=0.31, store=0.13),
+            block_size_mean=11, dep_distance_mean=13.0, mem_footprint=24 * _MB,
+            mem_pattern_weights=_STREAM, branch_predictability=0.97,
+            branch_taken_bias=0.85, dead_frac=0.30, cond_consume_frac=0.002,
+            seq_advance_shift=5, ref_pc_accuracy=0.998,
+        ),
+        BenchmarkPersonality(
+            name="mgrid", category="mem", mix=_fp_mix(load=0.34, store=0.1),
+            block_size_mean=12, dep_distance_mean=14.0, mem_footprint=24 * _MB,
+            mem_pattern_weights=_STREAM, branch_predictability=0.98,
+            branch_taken_bias=0.88, dead_frac=0.28, cond_consume_frac=0.001,
+            seq_advance_shift=5, ref_pc_accuracy=0.999,
+        ),
+        BenchmarkPersonality(
+            name="wupwise", category="cpu", mix=_fp_mix(load=0.28, store=0.1, fmult=0.16),
+            block_size_mean=9, dep_distance_mean=12.0, mem_footprint=384 * _KB,
+            mem_pattern_weights=_TIGHT, branch_predictability=0.95,
+            dead_frac=0.34, cond_consume_frac=0.025, ref_pc_accuracy=0.975,
+        ),
+    ]
+}
+
+
+def get_personality(name: str) -> BenchmarkPersonality:
+    """Look up a benchmark personality by SPEC2000 name."""
+    try:
+        return PERSONALITIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(PERSONALITIES)}"
+        ) from None

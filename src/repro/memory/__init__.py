@@ -1,0 +1,8 @@
+"""Memory hierarchy substrate: set-associative caches, TLBs and the
+L1I/L1D/L2/DRAM stack of Table 2."""
+
+from repro.memory.cache import SetAssocCache
+from repro.memory.tlb import TLB
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = ["SetAssocCache", "TLB", "MemoryHierarchy", "AccessResult"]

@@ -1,0 +1,95 @@
+"""The full memory stack of Table 2.
+
+``MemoryHierarchy`` composes the split L1s, the unified L2, the two
+TLBs and a flat DRAM latency.  It is a timing model: an access returns
+the total latency and whether it reached DRAM (an "L2 miss" in the
+paper's terminology — the event that drives the FLUSH/STALL fetch
+policies, Optimization 2 and the DVM trigger).
+
+Per-thread address spaces are disambiguated by tagging bit 44+ with the
+hardware thread id, mirroring distinct processes on an SMT core (the
+caches are still physically shared, so capacity contention between
+threads is modelled faithfully).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineConfig
+from repro.memory.cache import SetAssocCache
+from repro.memory.tlb import TLB
+
+_THREAD_SHIFT = 44
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one data or instruction access."""
+
+    latency: int
+    l1_miss: bool
+    l2_miss: bool
+    tlb_miss: bool
+
+
+class MemoryHierarchy:
+    """Shared L1I/L1D + unified L2 + DRAM, with ITLB/DTLB."""
+
+    def __init__(self, machine: MachineConfig):
+        machine.validate()
+        self.machine = machine
+        self.l1i = SetAssocCache(machine.l1i, "L1I")
+        self.l1d = SetAssocCache(machine.l1d, "L1D")
+        self.l2 = SetAssocCache(machine.l2, "L2")
+        self.itlb = TLB(machine.itlb, "ITLB")
+        self.dtlb = TLB(machine.dtlb, "DTLB")
+        self.memory_latency = machine.memory_latency
+        # Running counters the fetch policies / Optimization 2 consume.
+        self.l2_miss_count = 0
+        self.l2_data_miss_count = 0
+
+    @staticmethod
+    def thread_addr(addr: int, thread: int) -> int:
+        """Tag an address with its hardware thread id.
+
+        The id is placed both above the tag bits (distinct address
+        spaces) and XORed into the low page bits, so identical virtual
+        layouts in different threads do not collide on the same cache
+        sets (the effect ASLR/physical allocation has on a real SMT)."""
+        return (addr ^ (thread * 0x3740)) | (thread << _THREAD_SHIFT)
+
+    def access_instr(self, addr: int, thread: int) -> AccessResult:
+        """Instruction fetch access: ITLB + L1I + (L2 + DRAM)."""
+        a = self.thread_addr(addr, thread)
+        tlb_penalty = self.itlb.access(a)
+        latency = self.machine.l1i.latency + tlb_penalty
+        if self.l1i.access(a):
+            return AccessResult(latency, False, False, tlb_penalty > 0)
+        latency += self.machine.l2.latency
+        if self.l2.access(a):
+            return AccessResult(latency, True, False, tlb_penalty > 0)
+        self.l2_miss_count += 1
+        latency += self.memory_latency
+        return AccessResult(latency, True, True, tlb_penalty > 0)
+
+    def access_data(self, addr: int, thread: int, is_write: bool = False) -> AccessResult:
+        """Data access: DTLB + L1D + (L2 + DRAM)."""
+        a = self.thread_addr(addr, thread)
+        tlb_penalty = self.dtlb.access(a)
+        latency = self.machine.l1d.latency + tlb_penalty
+        if self.l1d.access(a, is_write):
+            return AccessResult(latency, False, False, tlb_penalty > 0)
+        latency += self.machine.l2.latency
+        if self.l2.access(a, is_write):
+            return AccessResult(latency, True, False, tlb_penalty > 0)
+        self.l2_miss_count += 1
+        self.l2_data_miss_count += 1
+        latency += self.memory_latency
+        return AccessResult(latency, True, True, tlb_penalty > 0)
+
+    def reset_stats(self) -> None:
+        for c in (self.l1i, self.l1d, self.l2):
+            c.stats.reset()
+        self.l2_miss_count = 0
+        self.l2_data_miss_count = 0

@@ -1,0 +1,31 @@
+"""Performance/reliability metrics used by the paper's evaluation."""
+
+from repro.metrics.stats import (
+    geometric_mean,
+    harmonic_ipc,
+    normalized,
+    pve_from_intervals,
+    weighted_speedup,
+)
+from repro.metrics.interval import (
+    EmergencyProfile,
+    IntervalTraceStats,
+    autocorrelation,
+    emergency_profile,
+    emergency_runs,
+    trace_stats,
+)
+
+__all__ = [
+    "harmonic_ipc",
+    "weighted_speedup",
+    "normalized",
+    "geometric_mean",
+    "pve_from_intervals",
+    "trace_stats",
+    "autocorrelation",
+    "emergency_runs",
+    "emergency_profile",
+    "IntervalTraceStats",
+    "EmergencyProfile",
+]

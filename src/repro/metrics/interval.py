@@ -1,0 +1,111 @@
+"""Interval-trace analysis.
+
+The paper's Section 5 premise is that runtime IQ vulnerability "varies
+significantly during program execution".  These helpers quantify that
+variation on per-interval AVF traces: dispersion, phase structure
+(lag autocorrelation), and emergency-run statistics (how long the AVF
+stays above a target once it crosses it — the quantity DVM's
+rapid-decrease adaptation is designed around).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IntervalTraceStats:
+    """Summary of one per-interval AVF trace."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation — the paper's "time varying
+        behavior" in one number."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def dynamic_range(self) -> float:
+        return self.maximum / self.minimum if self.minimum > 0 else float("inf")
+
+
+def trace_stats(trace: Sequence[float]) -> IntervalTraceStats:
+    """Dispersion summary of an interval trace."""
+    vals = np.asarray(list(trace), dtype=float)
+    if vals.size == 0:
+        return IntervalTraceStats(0, 0.0, 0.0, 0.0, 0.0)
+    return IntervalTraceStats(
+        n=int(vals.size),
+        mean=float(vals.mean()),
+        std=float(vals.std()),
+        minimum=float(vals.min()),
+        maximum=float(vals.max()),
+    )
+
+
+def autocorrelation(trace: Sequence[float], lag: int = 1) -> float:
+    """Pearson autocorrelation at ``lag`` (phase persistence: high lag-1
+    autocorrelation means AVF phases are long relative to the interval,
+    which is what makes interval-based adaptation effective)."""
+    vals = np.asarray(list(trace), dtype=float)
+    if lag <= 0:
+        raise ValueError("lag must be positive")
+    if vals.size <= lag + 1:
+        return 0.0
+    a, b = vals[:-lag], vals[lag:]
+    sa, sb = a.std(), b.std()
+    if sa == 0 or sb == 0:
+        return 0.0
+    return float(((a - a.mean()) * (b - b.mean())).mean() / (sa * sb))
+
+
+def emergency_runs(trace: Sequence[float], target: float) -> list[int]:
+    """Lengths of consecutive above-target runs (emergency episodes)."""
+    runs: list[int] = []
+    current = 0
+    for v in trace:
+        if v > target:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs
+
+
+@dataclass(frozen=True)
+class EmergencyProfile:
+    """Emergency-episode structure of a trace against a target."""
+
+    pve: float
+    episodes: int
+    mean_run: float
+    max_run: int
+
+    @property
+    def bursty(self) -> bool:
+        """True when emergencies cluster into long runs rather than
+        scattering — the regime where a closed-loop controller beats a
+        static policy."""
+        return self.mean_run >= 2.0
+
+
+def emergency_profile(trace: Sequence[float], target: float) -> EmergencyProfile:
+    vals = list(trace)
+    runs = emergency_runs(vals, target)
+    above = sum(runs)
+    return EmergencyProfile(
+        pve=above / len(vals) if vals else 0.0,
+        episodes=len(runs),
+        mean_run=above / len(runs) if runs else 0.0,
+        max_run=max(runs) if runs else 0,
+    )

@@ -1,0 +1,71 @@
+"""Metric helpers.
+
+The paper reports **throughput IPC** (committed instructions per cycle
+summed over threads) and **harmonic IPC** "which takes fairness into
+consideration" (Luo, Gummaraju & Franklin, ISPASS 2001):
+
+    hmean = N / Σ_i (IPC_single_i / IPC_smt_i)
+
+where ``IPC_single_i`` is thread *i*'s IPC when running alone on the
+machine.  **PVE** (percentage of vulnerability emergencies, Section
+5.2) is the fraction of execution intervals whose IQ AVF exceeds the
+reliability target.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def harmonic_ipc(smt_ipc: Sequence[float], single_ipc: Sequence[float]) -> float:
+    """Harmonic mean of per-thread relative IPCs (fairness-aware)."""
+    if len(smt_ipc) != len(single_ipc):
+        raise ValueError("smt_ipc and single_ipc must have equal length")
+    if not smt_ipc:
+        return 0.0
+    total = 0.0
+    for smt, single in zip(smt_ipc, single_ipc):
+        if single <= 0:
+            raise ValueError("single-thread IPC must be positive")
+        if smt <= 0:
+            return 0.0  # a starved thread zeroes fairness
+        total += single / smt
+    return len(smt_ipc) / total
+
+
+def weighted_speedup(smt_ipc: Sequence[float], single_ipc: Sequence[float]) -> float:
+    """Σ_i IPC_smt_i / IPC_single_i (Snavely & Tullsen)."""
+    if len(smt_ipc) != len(single_ipc):
+        raise ValueError("smt_ipc and single_ipc must have equal length")
+    total = 0.0
+    for smt, single in zip(smt_ipc, single_ipc):
+        if single <= 0:
+            raise ValueError("single-thread IPC must be positive")
+        total += smt / single
+    return total
+
+
+def normalized(value: float, baseline: float) -> float:
+    """value / baseline, guarding a zero baseline."""
+    if baseline == 0:
+        return 0.0
+    return value / baseline
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def pve_from_intervals(interval_avf: Sequence[float], target: float) -> float:
+    """Fraction of intervals whose AVF exceeds ``target``."""
+    vals = list(interval_avf)
+    if not vals:
+        return 0.0
+    return sum(1 for a in vals if a > target) / len(vals)

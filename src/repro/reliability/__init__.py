@@ -1,0 +1,30 @@
+"""Reliability framework: ACE analysis, AVF accounting, offline
+profiling, VISA-era resource allocation and dynamic vulnerability
+management — the paper's contribution layer."""
+
+from repro.reliability.ace import ACEAnalyzer
+from repro.reliability.avf import AVFAccount, AVFBitLayout, Structure
+from repro.reliability.profiling import ProfileResult, profile_program, apply_profile
+from repro.reliability.resource_alloc import (
+    DispatchPolicy,
+    DynamicIQAllocation,
+    L2MissSensitiveAllocation,
+    UnlimitedDispatch,
+)
+from repro.reliability.dvm import DVMController, DVMStats
+
+__all__ = [
+    "ACEAnalyzer",
+    "AVFAccount",
+    "AVFBitLayout",
+    "Structure",
+    "ProfileResult",
+    "profile_program",
+    "apply_profile",
+    "DispatchPolicy",
+    "UnlimitedDispatch",
+    "DynamicIQAllocation",
+    "L2MissSensitiveAllocation",
+    "DVMController",
+    "DVMStats",
+]

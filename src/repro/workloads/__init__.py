@@ -1,0 +1,11 @@
+"""SMT workload mixes (Table 3 of the paper)."""
+
+from repro.workloads.mixes import (
+    CATEGORIES,
+    MIXES,
+    WorkloadMix,
+    get_mix,
+    mixes_in_category,
+)
+
+__all__ = ["WorkloadMix", "MIXES", "CATEGORIES", "get_mix", "mixes_in_category"]

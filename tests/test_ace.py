@@ -1,0 +1,258 @@
+"""Post-retirement ACE analysis: ground-truth liveness semantics."""
+
+import pytest
+
+from repro.isa.instruction import (
+    DynInst,
+    DynState,
+    MemBehavior,
+    MemPattern,
+    OpClass,
+    StaticInst,
+)
+from repro.reliability.ace import ACEAnalyzer
+
+
+def make_dyn(tag, opclass, dest=-1, srcs=(), thread=0):
+    kw = {}
+    if opclass.is_mem:
+        kw["mem"] = MemBehavior(MemPattern.HOT, base=0, footprint=4096)
+    if opclass == OpClass.BRANCH:
+        from repro.isa.instruction import BranchBehavior
+
+        kw["branch"] = BranchBehavior(taken_bias=0.5)
+        kw["taken_block"] = 0
+        kw["fall_block"] = 0
+    st = StaticInst(pc=0x1000 + tag * 4, opclass=opclass, dest=dest, srcs=srcs, **kw)
+    d = DynInst(tag=tag, thread=thread, static=st, stream_pos=tag)
+    d.state = DynState.COMMITTED
+    return d
+
+
+class Harness:
+    """Feeds a committed stream and records resolutions."""
+
+    def __init__(self, threads=1, window=1000):
+        self.resolved = {}
+        self.analyzer = ACEAnalyzer(
+            threads, window_size=window, resolve_cb=self._cb
+        )
+        self._cycle = 0
+
+    def _cb(self, dyn):
+        self.resolved[dyn.tag] = dyn.ace
+
+    def feed(self, *dyns):
+        for d in dyns:
+            self.analyzer.commit(d, self._cycle)
+            self._cycle += 1
+
+    def finish(self):
+        self.analyzer.flush(self._cycle)
+
+
+class TestRoots:
+    def test_store_is_ace(self):
+        h = Harness()
+        h.feed(make_dyn(1, OpClass.STORE, srcs=(2, 3)))
+        h.finish()
+        assert h.resolved[1] is True
+
+    def test_branch_is_ace(self):
+        h = Harness()
+        h.feed(make_dyn(1, OpClass.BRANCH, srcs=(2,)))
+        h.finish()
+        assert h.resolved[1] is True
+
+    def test_nop_never_ace(self):
+        h = Harness()
+        h.feed(make_dyn(1, OpClass.NOP))
+        h.finish()
+        assert h.resolved[1] is False
+
+    def test_prefetch_never_ace(self):
+        h = Harness()
+        h.feed(make_dyn(1, OpClass.PREFETCH, srcs=(2,)))
+        h.finish()
+        assert h.resolved[1] is False
+
+    def test_output_flag_makes_ace(self):
+        h = Harness()
+        d = make_dyn(1, OpClass.IALU, dest=1, srcs=())
+        d.static.is_output = True
+        h.feed(d)
+        h.finish()
+        assert h.resolved[1] is True
+
+
+class TestLiveness:
+    def test_value_feeding_store_is_ace(self):
+        h = Harness()
+        h.feed(
+            make_dyn(1, OpClass.IALU, dest=5, srcs=()),
+            make_dyn(2, OpClass.STORE, srcs=(5, 6)),
+        )
+        h.finish()
+        assert h.resolved[1] is True
+
+    def test_overwritten_unread_is_dead(self):
+        h = Harness()
+        h.feed(
+            make_dyn(1, OpClass.IALU, dest=5, srcs=()),
+            make_dyn(2, OpClass.IALU, dest=5, srcs=()),  # overwrites r5
+            make_dyn(3, OpClass.STORE, srcs=(5,)),
+        )
+        h.finish()
+        assert h.resolved[1] is False
+        assert h.resolved[2] is True
+
+    def test_transitive_chain_to_root(self):
+        h = Harness()
+        h.feed(
+            make_dyn(1, OpClass.IALU, dest=1, srcs=()),
+            make_dyn(2, OpClass.IALU, dest=2, srcs=(1,)),
+            make_dyn(3, OpClass.IALU, dest=3, srcs=(2,)),
+            make_dyn(4, OpClass.STORE, srcs=(3,)),
+        )
+        h.finish()
+        assert all(h.resolved[t] for t in (1, 2, 3, 4))
+
+    def test_transitively_dead_chain(self):
+        """Read only by a dead instruction -> still dead (the paper's
+        'dynamically dead' transitive case)."""
+        h = Harness()
+        h.feed(
+            make_dyn(1, OpClass.IALU, dest=1, srcs=()),
+            make_dyn(2, OpClass.IALU, dest=2, srcs=(1,)),  # reads r1, dies
+            make_dyn(3, OpClass.IALU, dest=1, srcs=()),
+            make_dyn(4, OpClass.IALU, dest=2, srcs=()),
+        )
+        h.finish()
+        assert h.resolved[1] is False
+        assert h.resolved[2] is False
+
+    def test_read_by_nop_like_consumer_not_ace(self):
+        h = Harness()
+        h.feed(
+            make_dyn(1, OpClass.IALU, dest=5, srcs=()),
+            make_dyn(2, OpClass.PREFETCH, srcs=(5,)),  # un-ACE reader
+            make_dyn(3, OpClass.IALU, dest=5, srcs=()),
+        )
+        h.finish()
+        assert h.resolved[1] is False
+
+    def test_branch_source_chain_ace(self):
+        h = Harness()
+        h.feed(
+            make_dyn(1, OpClass.IALU, dest=4, srcs=()),
+            make_dyn(2, OpClass.BRANCH, srcs=(4,)),
+        )
+        h.finish()
+        assert h.resolved[1] is True
+
+    def test_diamond_style_flip(self):
+        """Same PC: one instance consumed (ACE), one overwritten (dead)."""
+        h = Harness()
+        st = StaticInst(pc=0x5000, opclass=OpClass.IALU, dest=9, srcs=())
+
+        def instance(tag):
+            d = DynInst(tag=tag, thread=0, static=st, stream_pos=tag)
+            d.state = DynState.COMMITTED
+            return d
+
+        h.feed(
+            instance(1),
+            make_dyn(2, OpClass.STORE, srcs=(9,)),  # consumed: ACE
+            instance(3),
+            make_dyn(4, OpClass.IALU, dest=9, srcs=()),  # overwritten: dead
+            make_dyn(5, OpClass.STORE, srcs=(9,)),
+        )
+        h.finish()
+        assert h.resolved[1] is True
+        assert h.resolved[3] is False
+
+
+class TestWindow:
+    def test_unresolved_until_window_or_flush(self):
+        h = Harness(window=10)
+        d = make_dyn(1, OpClass.IALU, dest=5, srcs=())
+        h.feed(d)
+        assert 1 not in h.resolved  # still pending
+        h.finish()
+        assert h.resolved[1] is False
+
+    def test_window_exit_declares_unace(self):
+        h = Harness(window=3)
+        h.feed(make_dyn(1, OpClass.IALU, dest=5, srcs=()))
+        for t in range(2, 7):
+            h.feed(make_dyn(t, OpClass.IALU, dest=6, srcs=()))
+        assert h.resolved[1] is False  # exited the window unmarked
+
+    def test_late_ace_counted(self):
+        """A read arriving after window expiry is the documented
+        approximation: counted, not crashed."""
+        h = Harness(window=2)
+        h.feed(make_dyn(1, OpClass.IALU, dest=5, srcs=()))
+        h.feed(make_dyn(2, OpClass.IALU, dest=6, srcs=()))
+        h.feed(make_dyn(3, OpClass.IALU, dest=6, srcs=()))
+        assert h.resolved[1] is False
+        h.feed(make_dyn(4, OpClass.STORE, srcs=(5,)))
+        h.finish()
+        assert h.analyzer.stats.late_ace >= 1
+        assert h.resolved[1] is False  # resolution is final
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ACEAnalyzer(1, window_size=0)
+
+
+class TestThreads:
+    def test_threads_independent(self):
+        h = Harness(threads=2)
+        h.feed(
+            make_dyn(1, OpClass.IALU, dest=5, srcs=(), thread=0),
+            make_dyn(2, OpClass.STORE, srcs=(5,), thread=1),  # different thread!
+        )
+        h.finish()
+        assert h.resolved[1] is False  # thread 1's read is of its own r5
+
+
+class TestStats:
+    def test_counts(self):
+        h = Harness()
+        h.feed(
+            make_dyn(1, OpClass.IALU, dest=5, srcs=()),
+            make_dyn(2, OpClass.STORE, srcs=(5,)),
+            make_dyn(3, OpClass.NOP),
+        )
+        h.finish()
+        s = h.analyzer.stats
+        assert s.committed == 3
+        assert s.ace == 2
+        assert s.unace == 1
+        assert s.ace_fraction == pytest.approx(2 / 3)
+
+
+class TestRegisterLifetimes:
+    def test_rf_callback_on_overwrite(self):
+        lifetimes = []
+        analyzer = ACEAnalyzer(
+            1, window_size=100,
+            rf_cb=lambda rec, end: lifetimes.append((rec.commit_cycle, rec.last_read_cycle, end)),
+        )
+        d1 = make_dyn(1, OpClass.IALU, dest=5, srcs=())
+        d2 = make_dyn(2, OpClass.STORE, srcs=(5,))
+        d3 = make_dyn(3, OpClass.IALU, dest=5, srcs=())
+        analyzer.commit(d1, 10)
+        analyzer.commit(d2, 20)
+        analyzer.commit(d3, 30)
+        assert lifetimes == [(10, 20, 30)]
+
+    def test_rf_callback_on_flush(self):
+        lifetimes = []
+        analyzer = ACEAnalyzer(
+            1, window_size=100, rf_cb=lambda rec, end: lifetimes.append(end)
+        )
+        analyzer.commit(make_dyn(1, OpClass.IALU, dest=5, srcs=()), 10)
+        analyzer.flush(99)
+        assert lifetimes == [99]

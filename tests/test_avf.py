@@ -1,0 +1,170 @@
+"""Bit-level AVF accounting."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.isa.instruction import DynInst, DynState, OpClass, StaticInst
+from repro.reliability.avf import AVFAccount, AVFBitLayout, Structure
+
+
+def make_dyn(tag=1, opclass=OpClass.IALU, ace=True, ace_pred=True,
+             dispatch=0, iq_leave=10, issue=10, commit=20, latency=1,
+             state=DynState.COMMITTED):
+    st = StaticInst(pc=0x1000 + 4 * tag, opclass=opclass, dest=1, srcs=())
+    d = DynInst(tag=tag, thread=0, static=st, stream_pos=tag)
+    d.state = state
+    d.ace = ace
+    d.ace_pred = ace_pred
+    d.dispatch_cycle = dispatch
+    d.iq_leave_cycle = iq_leave
+    d.issue_cycle = issue
+    d.commit_cycle = commit
+    d.exec_latency = latency
+    return d
+
+
+@pytest.fixture()
+def acct():
+    return AVFAccount(MachineConfig(), interval_cycles=100)
+
+
+class TestLayout:
+    def test_default_layout_valid(self):
+        AVFBitLayout().validate()
+
+    def test_rejects_inverted_layout(self):
+        with pytest.raises(ValueError):
+            AVFBitLayout(iq_ace=10, iq_unace=50).validate()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AVFBitLayout(rf_reg_bits=0).validate()
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            AVFAccount(MachineConfig(), interval_cycles=0)
+
+
+class TestBitClassification:
+    def test_ace_instruction_bits(self, acct):
+        d = make_dyn(ace=True)
+        assert acct.iq_bits_oracle(d) == acct.layout.iq_ace
+
+    def test_unace_instruction_keeps_opcode_bits(self, acct):
+        # "un-ACE instructions also contain ACE-bits (e.g. opcode)"
+        d = make_dyn(ace=False)
+        assert 0 < acct.iq_bits_oracle(d) == acct.layout.iq_unace
+
+    def test_nop_bits(self, acct):
+        d = make_dyn(opclass=OpClass.NOP, ace=False)
+        assert acct.iq_bits_oracle(d) == acct.layout.iq_nop
+
+    def test_squashed_contributes_nothing(self, acct):
+        d = make_dyn(state=DynState.SQUASHED)
+        assert acct.iq_bits_oracle(d) == 0
+        assert acct.rob_bits_oracle(d) == 0
+        assert acct.fu_bits_oracle(d) == 0
+
+    def test_predicted_bits_ignore_oracle(self, acct):
+        d = make_dyn(ace=False, ace_pred=True)
+        assert acct.iq_bits_pred(d) == acct.layout.iq_ace
+
+
+class TestAttribution:
+    def test_iq_avf_arithmetic(self, acct):
+        # One ACE instruction resident 10 cycles in a 100-cycle run.
+        acct.on_resolved(make_dyn(dispatch=0, iq_leave=10, issue=-1, commit=-1))
+        acct.close(total_cycles=100)
+        m = MachineConfig()
+        expected = (acct.layout.iq_ace * 10) / (m.iq_size * acct.layout.iq_entry_bits * 100)
+        assert acct.overall_avf(Structure.IQ) == pytest.approx(expected)
+
+    def test_rob_residency_dispatch_to_commit(self, acct):
+        acct.on_resolved(make_dyn(dispatch=5, iq_leave=-1, issue=-1, commit=25))
+        acct.close(100)
+        m = MachineConfig()
+        expected = (acct.layout.rob_ace * 20) / (
+            m.num_threads * m.rob_size_per_thread * acct.layout.rob_entry_bits * 100
+        )
+        assert acct.overall_avf(Structure.ROB) == pytest.approx(expected)
+
+    def test_fu_latency_attribution(self, acct):
+        acct.on_resolved(make_dyn(dispatch=-1, iq_leave=-1, issue=3, commit=-1, latency=4))
+        acct.close(100)
+        assert acct.overall_avf(Structure.FU) > 0
+
+    def test_fu_mem_counts_single_cycle(self, acct):
+        from repro.isa.instruction import MemBehavior, MemPattern
+        st = StaticInst(
+            pc=0x10, opclass=OpClass.LOAD, dest=1, srcs=(2,),
+            mem=MemBehavior(MemPattern.HOT, base=0, footprint=4096),
+        )
+        d = DynInst(tag=1, thread=0, static=st, stream_pos=0)
+        d.state = DynState.COMMITTED
+        d.ace = True
+        d.issue_cycle = 0
+        d.exec_latency = 212  # L2 miss: must NOT occupy the FU that long
+        d.dispatch_cycle = -1
+        acct.on_resolved(d)
+        acct2 = AVFAccount(MachineConfig(), interval_cycles=100)
+        alu = make_dyn(dispatch=-1, iq_leave=-1, issue=0, commit=-1, latency=1)
+        acct2.on_resolved(alu)
+        acct.close(100)
+        acct2.close(100)
+        assert acct.overall_avf(Structure.FU) == acct2.overall_avf(Structure.FU)
+
+    def test_rf_lifetime(self, acct):
+        class Rec:
+            commit_cycle = 10
+            last_read_cycle = 40
+
+        acct.on_rf_lifetime(Rec(), end_cycle=50)
+        acct.close(100)
+        assert acct.overall_avf(Structure.RF) > 0
+
+    def test_rf_never_read_contributes_nothing(self, acct):
+        class Rec:
+            commit_cycle = 10
+            last_read_cycle = -1
+
+        acct.on_rf_lifetime(Rec(), end_cycle=50)
+        acct.close(100)
+        assert acct.overall_avf(Structure.RF) == 0
+
+
+class TestIntervals:
+    def test_bucketing_by_leave_cycle(self, acct):
+        acct.on_resolved(make_dyn(tag=1, dispatch=0, iq_leave=50, issue=-1, commit=-1))
+        acct.on_resolved(make_dyn(tag=2, dispatch=100, iq_leave=150, issue=-1, commit=-1))
+        acct.close(200)
+        series = acct.interval_avf(Structure.IQ)
+        assert len(series) == 2
+        assert series[0] > 0 and series[1] > 0
+
+    def test_empty_intervals_are_zero(self, acct):
+        acct.on_resolved(make_dyn(dispatch=0, iq_leave=10, issue=-1, commit=-1))
+        acct.close(300)
+        series = acct.interval_avf(Structure.IQ)
+        assert series[1] == 0.0 and series[2] == 0.0
+
+    def test_no_cycles_no_avf(self, acct):
+        assert acct.overall_avf(Structure.IQ) == 0.0
+        assert acct.interval_avf(Structure.IQ) == []
+
+    def test_avf_bounded_by_one(self, acct):
+        # Saturate: more contributions than physically possible is a bug,
+        # so a fully-occupied IQ of ACE instructions must stay <= 1.
+        m = MachineConfig()
+        for tag in range(m.iq_size):
+            acct.on_resolved(make_dyn(tag=tag, dispatch=0, iq_leave=100, issue=-1, commit=-1))
+        acct.close(100)
+        assert acct.overall_avf(Structure.IQ) <= 1.0
+
+
+class TestCapacity:
+    def test_capacity_bits(self, acct):
+        m = MachineConfig()
+        assert acct.capacity_bits(Structure.IQ) == m.iq_size * acct.layout.iq_entry_bits
+        assert acct.capacity_bits(Structure.RF) == (
+            max(acct.layout.rf_physical_regs, m.num_threads * 64) * acct.layout.rf_reg_bits
+        )

@@ -1,0 +1,74 @@
+"""ASCII chart helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.charts import hbar_chart, histogram_chart, sparkline, strip_chart
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_min_max_mapping(self):
+        s = sparkline([0, 1])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_explicit_bounds(self):
+        s = sparkline([0.5], lo=0.0, hi=1.0)
+        assert s not in ("▁", "█")
+
+
+class TestHBar:
+    def test_rows_and_alignment(self):
+        out = hbar_chart([("alpha", 1.0), ("b", 0.5)])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_peak_fills_width(self):
+        out = hbar_chart([("x", 2.0)], width=10)
+        assert "#" * 10 in out
+
+    def test_zero_values(self):
+        out = hbar_chart([("x", 0.0)])
+        assert "#" not in out
+
+    def test_empty(self):
+        assert hbar_chart([]) == "(no data)"
+
+
+class TestStripChart:
+    def test_threshold_markers(self):
+        out = strip_chart([0.1, 0.9], threshold=0.5)
+        assert out.count("emergency") == 1
+
+    def test_no_threshold(self):
+        out = strip_chart([0.1, 0.9])
+        assert "emergency" not in out
+
+    def test_empty(self):
+        assert strip_chart([]) == "(no intervals)"
+
+    def test_row_cap(self):
+        out = strip_chart([0.1] * 100, max_rows=10)
+        assert len(out.splitlines()) == 10
+
+
+class TestHistogram:
+    def test_bins_labelled(self):
+        out = histogram_chart([0.5, 0.25, 0.25])
+        assert out.splitlines()[0].startswith("0")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=50))
+def test_property_sparkline_never_crashes(vals):
+    s = sparkline(vals)
+    assert len(s) == len(vals)

@@ -1,0 +1,101 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mix == "CPU-A"
+        assert args.scheduler == "oldest"
+        assert args.dispatch is None
+
+    def test_run_rejects_unknown_mix(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mix", "GPU-A"])
+
+    def test_run_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fetch-policy", "nope"])
+
+    def test_profile_args(self):
+        args = build_parser().parse_args(["profile", "mesa", "--instructions", "500"])
+        assert args.benchmark == "mesa"
+        assert args.instructions == 500
+
+    def test_reproduce_args(self):
+        args = build_parser().parse_args(["reproduce", "fig5", "--full", "--save"])
+        assert args.experiment == "fig5" and args.full and args.save
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "CPU-A" in out and "fig5" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "gcc", "--instructions", "3000", "--window", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "PC-classification acc" in out
+
+    def test_profile_unknown_benchmark(self, capsys):
+        assert main(["profile", "doom"]) == 2
+
+    def test_run_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CYCLES", "2500")
+        from repro.harness.runner import clear_caches
+
+        clear_caches()
+        assert main(["run", "--mix", "CPU-A", "--cycles", "2500"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput IPC" in out and "IQ AVF" in out
+        clear_caches()
+
+    def test_reproduce_unknown(self, capsys):
+        assert main(["reproduce", "fig99"]) == 2
+
+
+class TestReproduceCommand:
+    def test_reproduce_with_stub(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli._EXPERIMENTS, "stub",
+            (lambda scale: [{"a": 1.0, "b": 2.0}], "Stub experiment"),
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["reproduce", "stub", "--save"]) == 0
+        out = capsys.readouterr().out
+        assert "Stub experiment" in out and "saved to" in out
+        assert (tmp_path / "reports" / "stub.txt").exists()
+
+    def test_reproduce_dict_payload(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli._EXPERIMENTS, "stub2",
+            (lambda scale: {"x": 3}, "Dict experiment"),
+        )
+        assert main(["reproduce", "stub2"]) == 0
+        assert "Dict experiment" in capsys.readouterr().out
+
+    def test_scale_overrides(self, monkeypatch):
+        import repro.cli as cli
+
+        captured = {}
+        monkeypatch.setitem(
+            cli._EXPERIMENTS, "stub3",
+            (lambda scale: captured.setdefault("scale", scale) and [], "S"),
+        )
+        main(["reproduce", "stub3", "--cycles", "5000", "--seed", "9", "--full"])
+        scale = captured["scale"]
+        assert scale.max_cycles == 5000
+        assert scale.seed == 9
+        assert scale.groups == ("A", "B", "C")

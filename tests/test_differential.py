@@ -1,0 +1,108 @@
+"""Differential and fuzz testing.
+
+The cache is checked against an independent reference model under
+random access streams; the pipeline is fuzzed across random small
+machines/workloads with its structural invariants asserted.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, MachineConfig, ReliabilityConfig, SimulationConfig
+from repro.core.pipeline import SMTPipeline
+from repro.isa.generator import generate_program
+from repro.memory.cache import SetAssocCache
+
+
+class ReferenceCache:
+    """Straightforward LRU model: per-set ordered list of tags, written
+    independently of the production implementation."""
+
+    def __init__(self, sets, assoc, line):
+        self.sets = sets
+        self.assoc = assoc
+        self.line = line
+        self.state = {i: [] for i in range(sets)}
+
+    def access(self, addr):
+        lineno = addr // self.line
+        idx = lineno % self.sets
+        tag = lineno // self.sets
+        entries = self.state[idx]
+        hit = tag in entries
+        if hit:
+            entries.remove(tag)
+        entries.insert(0, tag)
+        del entries[self.assoc:]
+        return hit
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=400),
+    st.sampled_from([(4, 1), (4, 2), (8, 4), (2, 2)]),
+)
+def test_cache_matches_reference(addrs, geometry):
+    sets, assoc = geometry
+    line = 64
+    cache = SetAssocCache(
+        CacheConfig(size=sets * assoc * line, assoc=assoc, line_size=line, latency=1)
+    )
+    ref = ReferenceCache(sets, assoc, line)
+    for a in addrs:
+        assert cache.access(a) == ref.access(a), f"divergence at addr {a:#x}"
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["gcc", "mcf", "swim", "mesa", "vpr"]),
+    st.integers(min_value=1, max_value=3),
+)
+def test_pipeline_fuzz_invariants(seed, benchmark, n_threads):
+    """Random (seed, workload, thread-count) pipelines must preserve the
+    structural invariants for their whole run."""
+    rng = random.Random(seed)
+    machine = MachineConfig(
+        num_threads=n_threads,
+        iq_size=rng.choice([16, 32, 96]),
+        rob_size_per_thread=rng.choice([24, 96]),
+        lsq_size_per_thread=rng.choice([12, 48]),
+        fetch_width=rng.choice([2, 4, 8]),
+        issue_width=rng.choice([2, 4, 8]),
+        commit_width=rng.choice([2, 4, 8]),
+    )
+    machine.validate()
+    programs = [
+        generate_program(benchmark, seed=seed + i) for i in range(n_threads)
+    ]
+    sim = SimulationConfig(
+        max_cycles=700, warmup_cycles=0, seed=seed,
+        bp_warmup_instructions=1_000,
+        reliability=ReliabilityConfig(interval_cycles=200, ace_window=400),
+    )
+    pipe = SMTPipeline(programs, machine=machine, sim=sim)
+    violations = []
+    orig = pipe._tick_stats
+
+    def checked():
+        if len(pipe.iq) > machine.iq_size:
+            violations.append(("iq", pipe.cycle))
+        if pipe.iq.pred_ace_bits < 0 or pipe.rob_pred_ace_bits < 0:
+            violations.append(("counter", pipe.cycle))
+        for t in range(n_threads):
+            if len(pipe.robs[t]) > machine.rob_size_per_thread:
+                violations.append(("rob", pipe.cycle))
+            if len(pipe.lsqs[t]) > machine.lsq_size_per_thread:
+                violations.append(("lsq", pipe.cycle))
+            if pipe._outstanding_l2[t] < 0 or pipe._outstanding_l1d[t] < 0:
+                violations.append(("outstanding", pipe.cycle))
+        orig()
+
+    pipe._tick_stats = checked
+    res = pipe.run()
+    assert violations == []
+    assert res.committed > 0
+    assert 0.0 <= res.iq_avf <= 1.0

@@ -1,0 +1,92 @@
+"""Functional unit pools and latencies (Table 2)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.functional_units import FunctionalUnitPool, op_latency
+from repro.isa.instruction import OpClass
+
+
+@pytest.fixture()
+def pool():
+    return FunctionalUnitPool(MachineConfig())
+
+
+class TestPools:
+    def test_ialu_pool_limit(self, pool):
+        for _ in range(8):
+            assert pool.try_issue(OpClass.IALU)
+        assert not pool.try_issue(OpClass.IALU)
+
+    def test_branch_shares_ialu(self, pool):
+        for _ in range(8):
+            assert pool.try_issue(OpClass.BRANCH)
+        assert not pool.try_issue(OpClass.IALU)
+
+    def test_loadstore_pool_limit(self, pool):
+        for _ in range(4):
+            assert pool.try_issue(OpClass.LOAD)
+        assert not pool.try_issue(OpClass.STORE)
+
+    def test_fp_pools_independent_of_int(self, pool):
+        for _ in range(8):
+            pool.try_issue(OpClass.IALU)
+        assert pool.try_issue(OpClass.FALU)
+
+    def test_mult_div_shared_pool(self, pool):
+        for _ in range(4):
+            assert pool.try_issue(OpClass.IMULT)
+        assert not pool.try_issue(OpClass.IDIV)
+
+    def test_fp_mult_div_sqrt_shared(self, pool):
+        for _ in range(4):
+            assert pool.try_issue(OpClass.FDIV)
+        assert not pool.try_issue(OpClass.FSQRT)
+
+    def test_new_cycle_releases(self, pool):
+        for _ in range(8):
+            pool.try_issue(OpClass.IALU)
+        pool.new_cycle()
+        assert pool.try_issue(OpClass.IALU)
+
+    def test_available(self, pool):
+        assert pool.available(OpClass.LOAD) == 4
+        pool.try_issue(OpClass.LOAD)
+        assert pool.available(OpClass.PREFETCH) == 3
+
+    def test_total_units(self, pool):
+        assert pool.total_units == 8 + 4 + 4 + 8 + 4
+
+    def test_busy_integral(self, pool):
+        pool.try_issue(OpClass.IALU)
+        pool.try_issue(OpClass.FALU)
+        assert pool.busy_integral == 2
+
+
+class TestLatencies:
+    def setup_method(self):
+        self.m = MachineConfig()
+
+    @pytest.mark.parametrize("op,attr", [
+        (OpClass.IALU, "lat_int_alu"),
+        (OpClass.IMULT, "lat_int_mult"),
+        (OpClass.IDIV, "lat_int_div"),
+        (OpClass.FALU, "lat_fp_alu"),
+        (OpClass.FMULT, "lat_fp_mult"),
+        (OpClass.FDIV, "lat_fp_div"),
+        (OpClass.FSQRT, "lat_fp_sqrt"),
+    ])
+    def test_latency_mapping(self, op, attr):
+        assert op_latency(self.m, op) == getattr(self.m, attr)
+
+    def test_control_is_single_cycle(self):
+        assert op_latency(self.m, OpClass.BRANCH) == 1
+        assert op_latency(self.m, OpClass.NOP) == 1
+
+    def test_latency_ordering(self):
+        # divides are slower than multiplies which are slower than adds
+        assert (
+            op_latency(self.m, OpClass.IALU)
+            < op_latency(self.m, OpClass.IMULT)
+            < op_latency(self.m, OpClass.IDIV)
+        )

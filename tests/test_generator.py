@@ -1,0 +1,204 @@
+"""Synthetic program generator: structure, determinism, mix and the
+reliability populations."""
+
+import numpy as np
+import pytest
+
+from repro.isa.generator import (
+    FP_COND,
+    INT_COND_DIAMOND,
+    INT_COND_LOOP,
+    INT_DEAD,
+    ProgramGenerator,
+    generate_program,
+)
+from repro.isa.instruction import OpClass
+from repro.isa.personalities import PERSONALITIES, get_personality
+from repro.isa.program import ThreadContext
+
+
+@pytest.fixture(scope="module")
+def gcc_program():
+    return generate_program("gcc", seed=11)
+
+
+class TestStructure:
+    def test_all_personalities_generate_valid_programs(self):
+        for name in PERSONALITIES:
+            prog = generate_program(name, seed=2)
+            prog.validate()
+            assert prog.num_static_insts > 100
+
+    def test_pcs_unique_and_word_aligned(self, gcc_program):
+        pcs = [st.pc for st in gcc_program.all_insts()]
+        assert len(pcs) == len(set(pcs))
+        assert all(pc % 4 == 0 for pc in pcs)
+
+    def test_every_block_reachable_exit(self, gcc_program):
+        for block in gcc_program.blocks:
+            assert block.terminator is not None or block.fall_block >= 0
+
+    def test_loop_back_branches_have_period(self, gcc_program):
+        backs = [
+            st for st in gcc_program.all_insts()
+            if st.opclass == OpClass.BRANCH and st.branch.loop_period > 0
+        ]
+        assert backs, "program must contain loop back-branches"
+        for st in backs:
+            assert st.branch.loop_trip >= 3
+            assert st.branch.loop_period > 0
+
+    def test_loop_period_matches_execution(self, gcc_program):
+        """The declared loop period must equal the actual stream-length
+        of an iteration (otherwise trip counts would be wrong)."""
+        ctx = ThreadContext(gcc_program, seed=3)
+        last_pos = {}
+        checked = 0
+        for _ in range(30_000):
+            st = ctx.peek()
+            if st.opclass == OpClass.BRANCH and st.branch.loop_period > 0:
+                pos = ctx.stream_pos
+                if st.pc in last_pos:
+                    delta = pos - last_pos[st.pc]
+                    if delta < 1000:  # same activation
+                        assert delta == st.branch.loop_period
+                        checked += 1
+                last_pos[st.pc] = pos
+            if st.opclass.is_control:
+                t, tg = ctx.resolve_control(st)
+                ctx.advance_control(st, t, tg)
+            else:
+                ctx.advance()
+        assert checked > 50
+
+    def test_functions_end_with_ret(self, gcc_program):
+        rets = [st for st in gcc_program.all_insts() if st.opclass == OpClass.RET]
+        calls = [st for st in gcc_program.all_insts() if st.opclass == OpClass.CALL]
+        if calls:
+            assert rets
+
+    def test_calls_target_valid_blocks(self, gcc_program):
+        n = len(gcc_program.blocks)
+        for st in gcc_program.all_insts():
+            if st.opclass == OpClass.CALL:
+                assert 0 <= st.taken_block < n
+                assert 0 <= st.fall_block < n
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        p1 = generate_program("bzip2", seed=5)
+        p2 = generate_program("bzip2", seed=5)
+        assert [(s.pc, s.opclass, s.dest, s.srcs) for s in p1.all_insts()] == [
+            (s.pc, s.opclass, s.dest, s.srcs) for s in p2.all_insts()
+        ]
+
+    def test_different_seed_different_program(self):
+        p1 = generate_program("bzip2", seed=5)
+        p2 = generate_program("bzip2", seed=6)
+        sig1 = [(s.opclass, s.dest, s.srcs) for s in p1.all_insts()]
+        sig2 = [(s.opclass, s.dest, s.srcs) for s in p2.all_insts()]
+        assert sig1 != sig2
+
+    def test_different_benchmarks_differ(self):
+        p1 = generate_program("bzip2", seed=5)
+        p2 = generate_program("mcf", seed=5)
+        assert p1.num_static_insts != p2.num_static_insts or [
+            s.opclass for s in p1.all_insts()
+        ] != [s.opclass for s in p2.all_insts()]
+
+
+class TestInstructionMix:
+    def _dynamic_mix(self, name, n=20_000):
+        prog = generate_program(name, seed=7)
+        ctx = ThreadContext(prog, seed=1)
+        counts = {}
+        for _ in range(n):
+            st = ctx.peek()
+            counts[st.opclass] = counts.get(st.opclass, 0) + 1
+            if st.opclass.is_control:
+                t, tg = ctx.resolve_control(st)
+                ctx.advance_control(st, t, tg)
+            else:
+                ctx.advance()
+        return {k: v / n for k, v in counts.items()}
+
+    def test_gcc_is_integer_code(self):
+        mix = self._dynamic_mix("gcc")
+        assert mix.get(OpClass.FALU, 0) < 0.02
+        assert mix.get(OpClass.IALU, 0) > 0.3
+
+    def test_swim_is_fp_code(self):
+        mix = self._dynamic_mix("swim")
+        assert mix.get(OpClass.FALU, 0) > 0.1
+
+    def test_loads_present_everywhere(self):
+        for name in ("gcc", "mcf", "swim"):
+            mix = self._dynamic_mix(name, n=8000)
+            assert mix.get(OpClass.LOAD, 0) > 0.08
+
+    def test_branch_rate_reasonable(self):
+        mix = self._dynamic_mix("gcc")
+        assert 0.03 < mix.get(OpClass.BRANCH, 0) < 0.3
+
+    def test_nops_present(self):
+        mix = self._dynamic_mix("gcc")
+        assert mix.get(OpClass.NOP, 0) > 0.01
+
+
+class TestDiamondPadding:
+    def test_arms_equal_length(self):
+        """Diamond arms must advance the stream by the same amount (the
+        constant-loop-period requirement)."""
+        prog = generate_program("mesa", seed=9)
+        for block in prog.blocks:
+            term = block.terminator
+            if term is None or term.opclass != OpClass.BRANCH:
+                continue
+            if term.branch.loop_period > 0:
+                continue  # loop back-branch, not a diamond
+            taken = prog.blocks[term.taken_block]
+            fall = prog.blocks[term.fall_block]
+            # Both arms of a forward diamond join at the same block.
+            if taken.fall_block == fall.fall_block and taken.fall_block >= 0:
+                assert len(taken.insts) == len(fall.insts)
+
+
+class TestReliabilityPopulations:
+    def test_dead_registers_never_feed_stores_or_branches(self, gcc_program):
+        dead = set(INT_DEAD)
+        for st in gcc_program.all_insts():
+            if st.opclass in (OpClass.STORE, OpClass.BRANCH):
+                assert not (set(st.srcs) & dead), (
+                    f"dead register feeds ACE root at pc={st.pc:#x}"
+                )
+
+    def test_cond_providers_exist_for_high_cond_personalities(self):
+        prog = generate_program("mesa", seed=4)
+        cond = set(INT_COND_DIAMOND) | set(INT_COND_LOOP) | set(FP_COND)
+        writers = [st for st in prog.all_insts() if st.dest in cond]
+        assert len(writers) > 5
+
+    def test_low_cond_personalities_have_few_providers(self):
+        prog = generate_program("perlbmk", seed=4)
+        cond = set(INT_COND_DIAMOND) | set(FP_COND)
+        writers = [st for st in prog.all_insts() if st.dest in cond]
+        mesa_writers = [
+            st for st in generate_program("mesa", seed=4).all_insts() if st.dest in cond
+        ]
+        assert len(writers) < len(mesa_writers)
+
+
+class TestGeneratorAPI:
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            generate_program("nonexistent")
+
+    def test_generator_reuse_not_allowed_semantics(self):
+        # Each generator instance produces one program; a fresh instance
+        # with the same seed reproduces it.
+        g1 = ProgramGenerator(get_personality("gap"), seed=3)
+        p1 = g1.generate()
+        g2 = ProgramGenerator(get_personality("gap"), seed=3)
+        p2 = g2.generate()
+        assert p1.num_static_insts == p2.num_static_insts

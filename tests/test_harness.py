@@ -1,0 +1,143 @@
+"""Experiment harness: scaling, caching and driver output shapes."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.report import format_table, save_report
+from repro.harness.runner import (
+    BenchScale,
+    clear_caches,
+    get_programs,
+    mix_harmonic_ipc,
+    run_sim,
+    single_thread_ipc,
+)
+from repro.workloads import CATEGORIES
+
+TINY = BenchScale(
+    max_cycles=2_500,
+    warmup_cycles=500,
+    interval_cycles=500,
+    ace_window=1_000,
+    profile_instructions=8_000,
+    profile_window=2_000,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestBenchScale:
+    def test_default_groups(self):
+        assert BenchScale().groups == ("A",)
+
+    def test_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert BenchScale.from_env().groups == ("A", "B", "C")
+
+    def test_env_cycles(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CYCLES", "9999")
+        assert BenchScale.from_env().max_cycles == 9999
+
+    def test_sim_config_valid(self):
+        TINY.sim_config().validate()
+
+    def test_mixes_filtered_by_groups(self):
+        assert [m.name for m in TINY.mixes("CPU")] == ["CPU-A"]
+        full = dataclasses.replace(TINY, groups=("A", "B", "C"))
+        assert len(full.mixes("MEM")) == 3
+
+
+class TestRunner:
+    def test_run_sim_produces_result(self):
+        res = run_sim("CPU-A", TINY)
+        assert res.committed > 0
+
+    def test_result_cache_hit(self):
+        r1 = run_sim("CPU-A", TINY)
+        r2 = run_sim("CPU-A", TINY)
+        assert r1 is r2
+
+    def test_cache_key_distinguishes_config(self):
+        r1 = run_sim("CPU-A", TINY)
+        r2 = run_sim("CPU-A", TINY, scheduler="visa")
+        assert r1 is not r2
+
+    def test_programs_cached_and_profiled(self):
+        p1 = get_programs("CPU-A", TINY)
+        p2 = get_programs("CPU-A", TINY)
+        assert p1 is p2
+        assert any(not st.ace_hint for prog in p1 for st in prog.all_insts())
+
+    def test_unprofiled_programs_all_ace(self):
+        progs = get_programs("MEM-A", TINY, profiled=False)
+        assert all(st.ace_hint for prog in progs for st in prog.all_insts())
+
+    def test_unknown_dispatch_raises(self):
+        with pytest.raises(KeyError):
+            run_sim("CPU-A", TINY, dispatch="opt9")
+
+    def test_single_thread_ipc_positive(self):
+        assert single_thread_ipc("gcc", TINY) > 0
+
+    def test_harmonic_ipc_bounded(self):
+        res = run_sim("CPU-A", TINY)
+        h = mix_harmonic_ipc("CPU-A", TINY, res)
+        assert 0.0 <= h <= 2.0
+
+
+class TestExperimentShapes:
+    def test_fig1_rows(self):
+        rows = experiments.fig1_structure_avf(TINY)
+        assert [r["category"] for r in rows] == list(CATEGORIES)
+        for r in rows:
+            assert set(r) >= {"IQ", "ROB", "RF", "FU"}
+
+    def test_fig2_shape(self):
+        d = experiments.fig2_ready_queue(TINY)
+        assert len(d["hist"]) == 97  # 96-entry IQ + empty bucket
+        assert abs(sum(d["hist"]) - 1.0) < 1e-9
+        assert 0 <= d["overall_ace_pct"] <= 1
+
+    def test_table1_has_19_rows(self):
+        rows = experiments.table1_pc_accuracy(TINY)
+        assert len(rows) == 19  # 18 benchmarks + AVG
+        assert rows[-1]["benchmark"] == "AVG"
+        for r in rows[:-1]:
+            assert 0.5 <= r["accuracy"] <= 1.0
+
+    def test_fig5_rows(self):
+        rows = experiments.fig5_visa_configs(TINY)
+        assert len(rows) == 9  # 3 categories x 3 configs
+        for r in rows:
+            assert r["norm_iq_avf"] > 0
+            assert r["norm_ipc"] > 0
+
+    def test_dvm_scale_refines_intervals(self):
+        s = experiments.dvm_scale(TINY)
+        assert s.interval_cycles < TINY.interval_cycles or s.interval_cycles == 1000
+        assert s.max_cycles >= TINY.max_cycles
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 0.5}, {"a": 22, "b": None}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "0.500" in text and "-" in text
+
+    def test_format_empty(self):
+        assert "(no data)" in format_table([], title="X")
+
+    def test_save_report(self, tmp_path):
+        path = save_report("unit", "hello\n", directory=str(tmp_path))
+        assert os.path.exists(path)
+        assert open(path).read() == "hello\n"

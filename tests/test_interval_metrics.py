@@ -1,0 +1,107 @@
+"""Interval-trace analysis metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.interval import (
+    EmergencyProfile,
+    autocorrelation,
+    emergency_profile,
+    emergency_runs,
+    trace_stats,
+)
+
+
+class TestTraceStats:
+    def test_basic(self):
+        s = trace_stats([0.1, 0.2, 0.3])
+        assert s.n == 3
+        assert s.mean == pytest.approx(0.2)
+        assert s.minimum == 0.1 and s.maximum == 0.3
+
+    def test_cv(self):
+        assert trace_stats([1.0, 1.0]).cv == 0.0
+        assert trace_stats([0.5, 1.5]).cv > 0
+
+    def test_dynamic_range(self):
+        assert trace_stats([0.1, 0.4]).dynamic_range == pytest.approx(4.0)
+        assert trace_stats([0.0, 1.0]).dynamic_range == float("inf")
+
+    def test_empty(self):
+        s = trace_stats([])
+        assert s.n == 0 and s.cv == 0.0
+
+
+class TestAutocorrelation:
+    def test_persistent_phases_high(self):
+        trace = [0.1] * 10 + [0.9] * 10 + [0.1] * 10 + [0.9] * 10
+        assert autocorrelation(trace, lag=1) > 0.7
+
+    def test_alternating_negative(self):
+        trace = [0.1, 0.9] * 10
+        assert autocorrelation(trace, lag=1) < -0.7
+
+    def test_constant_zero(self):
+        assert autocorrelation([0.5] * 10, lag=1) == 0.0
+
+    def test_short_trace(self):
+        assert autocorrelation([1.0, 2.0], lag=3) == 0.0
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1, 2, 3], lag=0)
+
+
+class TestEmergencyRuns:
+    def test_runs_detected(self):
+        assert emergency_runs([0, 1, 1, 0, 1, 0, 1, 1, 1], target=0.5) == [2, 1, 3]
+
+    def test_trailing_run(self):
+        assert emergency_runs([1, 1], target=0.5) == [2]
+
+    def test_none(self):
+        assert emergency_runs([0.1, 0.2], target=0.5) == []
+
+
+class TestEmergencyProfile:
+    def test_profile(self):
+        p = emergency_profile([0, 1, 1, 0, 1, 1, 1, 0], target=0.5)
+        assert p.pve == pytest.approx(5 / 8)
+        assert p.episodes == 2
+        assert p.mean_run == pytest.approx(2.5)
+        assert p.max_run == 3
+        assert p.bursty
+
+    def test_scattered_not_bursty(self):
+        p = emergency_profile([0, 1, 0, 1, 0, 1, 0], target=0.5)
+        assert not p.bursty
+
+    def test_empty(self):
+        p = emergency_profile([], target=0.5)
+        assert p.pve == 0.0 and p.episodes == 0
+
+    def test_integrates_with_simulation_trace(self):
+        from repro.harness.runner import BenchScale, clear_caches, run_sim
+
+        clear_caches()
+        scale = BenchScale(
+            max_cycles=4_000, warmup_cycles=1_000, interval_cycles=500,
+            ace_window=1_000, profile_instructions=8_000, profile_window=2_000,
+        )
+        res = run_sim("MEM-A", scale)
+        prof = emergency_profile(res.warm_iq_interval_avf, 0.5 * res.max_iq_avf)
+        assert prof.pve == pytest.approx(res.pve(0.5 * res.max_iq_avf))
+        clear_caches()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), max_size=60),
+    st.floats(min_value=0, max_value=1),
+)
+def test_property_runs_sum_to_pve(trace, target):
+    prof = emergency_profile(trace, target)
+    runs = emergency_runs(trace, target)
+    assert sum(runs) == round(prof.pve * len(trace)) if trace else True
+    assert 0 <= prof.pve <= 1

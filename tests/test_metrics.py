@@ -1,0 +1,99 @@
+"""Metric helpers: harmonic IPC, weighted speedup, PVE, means."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    geometric_mean,
+    harmonic_ipc,
+    normalized,
+    pve_from_intervals,
+    weighted_speedup,
+)
+
+
+class TestHarmonicIPC:
+    def test_equal_shares(self):
+        # Each thread at half its solo speed: hmean of relative IPCs = N / sum(2) = 0.5
+        assert harmonic_ipc([1.0, 1.0], [2.0, 2.0]) == pytest.approx(0.5)
+
+    def test_fairness_penalized(self):
+        balanced = harmonic_ipc([1.0, 1.0], [2.0, 2.0])
+        skewed = harmonic_ipc([1.9, 0.1], [2.0, 2.0])
+        assert skewed < balanced
+
+    def test_starved_thread_zeroes(self):
+        assert harmonic_ipc([1.0, 0.0], [2.0, 2.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            harmonic_ipc([1.0], [1.0, 2.0])
+
+    def test_zero_single_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_ipc([1.0], [0.0])
+
+    def test_empty(self):
+        assert harmonic_ipc([], []) == 0.0
+
+
+class TestWeightedSpeedup:
+    def test_value(self):
+        assert weighted_speedup([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [])
+
+
+class TestNormalized:
+    def test_ratio(self):
+        assert normalized(3.0, 2.0) == 1.5
+
+    def test_zero_baseline(self):
+        assert normalized(3.0, 0.0) == 0.0
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPVE:
+    def test_fraction_exceeding(self):
+        assert pve_from_intervals([0.1, 0.3, 0.5, 0.7], target=0.4) == 0.5
+
+    def test_boundary_not_emergency(self):
+        assert pve_from_intervals([0.4], target=0.4) == 0.0
+
+    def test_empty(self):
+        assert pve_from_intervals([], target=0.5) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8),
+)
+def test_property_harmonic_leq_min_relative(smt):
+    single = [10.0] * len(smt)
+    h = harmonic_ipc(smt, single)
+    rel = [s / 10.0 for s in smt]
+    assert h <= max(rel) + 1e-9
+    assert h >= min(rel) - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=40),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_property_pve_bounded(vals, target):
+    assert 0.0 <= pve_from_intervals(vals, target) <= 1.0

@@ -1,0 +1,117 @@
+"""Offline PC-based ACE profiling (Section 2.1 / Table 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.generator import generate_program
+from repro.reliability.profiling import (
+    ProfileResult,
+    apply_profile,
+    profile_and_apply,
+    profile_program,
+)
+
+
+@pytest.fixture(scope="module")
+def gcc_profile():
+    program = generate_program("gcc", seed=21)
+    return program, profile_program(program, n_instructions=20_000, window=5_000)
+
+
+class TestProfileRun:
+    def test_covers_executed_pcs(self, gcc_profile):
+        program, prof = gcc_profile
+        assert len(prof.pc_table) > 100
+
+    def test_accuracy_in_range(self, gcc_profile):
+        _, prof = gcc_profile
+        assert 0.8 < prof.accuracy <= 1.0
+
+    def test_ace_fraction_plausible(self, gcc_profile):
+        _, prof = gcc_profile
+        assert 0.3 < prof.ace_fraction < 0.95
+
+    def test_deterministic(self):
+        p1 = generate_program("gap", seed=5)
+        p2 = generate_program("gap", seed=5)
+        r1 = profile_program(p1, n_instructions=5_000, window=1_000)
+        r2 = profile_program(p2, n_instructions=5_000, window=1_000)
+        assert r1.pc_table == r2.pc_table
+        assert r1.accuracy == r2.accuracy
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            profile_program(generate_program("gap", seed=5), n_instructions=0)
+
+
+class TestFalsePositiveOnly:
+    def test_no_false_negatives(self, gcc_profile):
+        """A PC with any ACE instance must be tagged ACE (the paper's
+        conservative guarantee: false positives only)."""
+        _, prof = gcc_profile
+        for pc, n_ace in prof.ace_instances.items():
+            if n_ace > 0:
+                assert prof.pc_table[pc] is True
+
+    def test_unseen_pc_defaults_ace(self, gcc_profile):
+        _, prof = gcc_profile
+        assert prof.predict(0xDEAD0000) is True
+
+
+class TestAccuracyMath:
+    def test_accuracy_from_counts(self):
+        r = ProfileResult(program_name="x", instructions=10)
+        r.pc_table = {1: True, 2: False}
+        r.ace_instances = {1: 6}
+        r.unace_instances = {1: 2, 2: 2}
+        # pc1 predicted ACE: 6 of 8 correct; pc2 predicted unACE: 2 of 2.
+        assert r.accuracy == pytest.approx(8 / 10)
+
+    def test_empty_profile_zero(self):
+        r = ProfileResult(program_name="x", instructions=0)
+        assert r.accuracy == 0.0
+        assert r.ace_fraction == 0.0
+        assert r.static_ace_fraction == 0.0
+
+
+class TestApply:
+    def test_apply_sets_hints(self, gcc_profile):
+        program, prof = gcc_profile
+        n_unace = apply_profile(program, prof)
+        assert n_unace > 0
+        tagged = [st for st in program.all_insts() if not st.ace_hint]
+        assert len(tagged) == n_unace
+
+    def test_profile_and_apply_roundtrip(self):
+        program = generate_program("twolf", seed=9)
+        prof = profile_and_apply(program, n_instructions=10_000, window=2_000)
+        for st in program.all_insts():
+            assert st.ace_hint == prof.predict(st.pc)
+
+
+class TestPaperShape:
+    def test_mesa_worse_than_perlbmk(self):
+        """Table 1's headline contrast must reproduce."""
+        mesa = profile_program(generate_program("mesa", seed=3), 20_000, 5_000)
+        perl = profile_program(generate_program("perlbmk", seed=3), 20_000, 5_000)
+        assert mesa.accuracy < perl.accuracy
+
+    def test_average_accuracy_band(self):
+        """Average over a sample of benchmarks lands near the paper's
+        93.7% (we accept 88-100%)."""
+        names = ("gcc", "swim", "mesa", "vpr", "perlbmk", "mcf")
+        accs = [
+            profile_program(generate_program(n, seed=3), 15_000, 4_000).accuracy
+            for n in names
+        ]
+        avg = sum(accs) / len(accs)
+        assert 0.88 <= avg <= 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(["gcc", "mcf", "swim", "mesa"]), st.integers(0, 50))
+def test_property_accuracy_bounded(name, seed):
+    prof = profile_program(generate_program(name, seed=seed), 3_000, 1_000)
+    assert 0.0 <= prof.accuracy <= 1.0
+    assert 0.0 <= prof.ace_fraction <= 1.0

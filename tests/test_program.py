@@ -1,0 +1,298 @@
+"""Program representation, deterministic behaviour hashing, and the
+thread context (checkpoint/rollback)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.generator import generate_program
+from repro.isa.instruction import (
+    BranchBehavior,
+    MemBehavior,
+    MemPattern,
+    OpClass,
+    StaticInst,
+)
+from repro.isa.program import BasicBlock, SyntheticProgram, ThreadContext, mix64, u01
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(1, 2, 3) == mix64(1, 2, 3)
+
+    def test_inputs_matter(self):
+        assert mix64(1, 2, 3) != mix64(1, 2, 4)
+        assert mix64(1, 2, 3) != mix64(2, 1, 3)
+
+    def test_u01_in_range(self):
+        for i in range(500):
+            v = u01(i, i * 7, 42)
+            assert 0.0 <= v < 1.0
+
+    def test_u01_roughly_uniform(self):
+        vals = [u01(i, 13, 7) for i in range(2000)]
+        assert 0.45 < sum(vals) / len(vals) < 0.55
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 1 << 40), st.integers(0, 1 << 40), st.integers(0, 1 << 30))
+    def test_property_64bit_range(self, a, b, s):
+        assert 0 <= mix64(a, b, s) < (1 << 64)
+
+
+def _tiny_program():
+    """Two blocks: b0 (alu, branch) -> b1/b0."""
+    b0 = BasicBlock(bid=0)
+    b0.insts.append(StaticInst(pc=0x0, opclass=OpClass.IALU, dest=1, srcs=(1,)))
+    b0.insts.append(
+        StaticInst(
+            pc=0x4, opclass=OpClass.BRANCH, srcs=(1,),
+            branch=BranchBehavior(taken_bias=1.0, predictability=1.0),
+            taken_block=1, fall_block=1,
+        )
+    )
+    b1 = BasicBlock(bid=1)
+    b1.insts.append(
+        StaticInst(
+            pc=0x8, opclass=OpClass.LOAD, dest=2, srcs=(1,),
+            mem=MemBehavior(MemPattern.HOT, base=0x1000, footprint=1 << 16, hot_size=4096),
+        )
+    )
+    b1.insts.append(StaticInst(pc=0xC, opclass=OpClass.JUMP, taken_block=0))
+    return SyntheticProgram(name="tiny", blocks=[b0, b1])
+
+
+class TestValidation:
+    def test_tiny_program_valid(self):
+        _tiny_program().validate()
+
+    def test_duplicate_pc_rejected(self):
+        b = BasicBlock(bid=0, fall_block=0)
+        b.insts = [
+            StaticInst(pc=0x0, opclass=OpClass.IALU, dest=1),
+            StaticInst(pc=0x0, opclass=OpClass.IALU, dest=2),
+        ]
+        with pytest.raises(ValueError):
+            SyntheticProgram(name="dup", blocks=[b])
+
+    def test_control_mid_block_rejected(self):
+        b = BasicBlock(bid=0, fall_block=0)
+        b.insts = [
+            StaticInst(pc=0x0, opclass=OpClass.JUMP, taken_block=0),
+            StaticInst(pc=0x4, opclass=OpClass.IALU, dest=1),
+        ]
+        with pytest.raises(ValueError):
+            SyntheticProgram(name="bad", blocks=[b]).validate()
+
+    def test_dangling_successor_rejected(self):
+        b = BasicBlock(bid=0)
+        b.insts = [StaticInst(pc=0x0, opclass=OpClass.JUMP, taken_block=7)]
+        with pytest.raises(ValueError):
+            SyntheticProgram(name="bad", blocks=[b]).validate()
+
+    def test_block_without_exit_rejected(self):
+        b = BasicBlock(bid=0)  # no terminator, no fall_block
+        b.insts = [StaticInst(pc=0x0, opclass=OpClass.IALU, dest=1)]
+        with pytest.raises(ValueError):
+            SyntheticProgram(name="bad", blocks=[b]).validate()
+
+    def test_inst_at(self):
+        p = _tiny_program()
+        assert p.inst_at(0x8).opclass == OpClass.LOAD
+
+    def test_num_static_insts(self):
+        assert _tiny_program().num_static_insts == 4
+
+
+class TestThreadContext:
+    def test_walk_follows_control(self):
+        ctx = ThreadContext(_tiny_program(), seed=1)
+        assert ctx.peek().pc == 0x0
+        ctx.advance()
+        st = ctx.peek()
+        assert st.pc == 0x4
+        taken, target = ctx.resolve_control(st)
+        assert taken and target == 1
+        ctx.advance_control(st, taken, target)
+        assert ctx.peek().pc == 0x8
+
+    def test_stream_pos_increments(self):
+        ctx = ThreadContext(_tiny_program(), seed=1)
+        for i in range(10):
+            st = ctx.peek()
+            assert ctx.stream_pos == i
+            if st.opclass.is_control:
+                t, tg = ctx.resolve_control(st)
+                ctx.advance_control(st, t, tg)
+            else:
+                ctx.advance()
+
+    def test_checkpoint_restore_roundtrip(self):
+        ctx = ThreadContext(_tiny_program(), seed=1)
+        ctx.advance()
+        cp = ctx.checkpoint()
+        st = ctx.peek()
+        ctx.advance_control(st, True, 1)
+        ctx.advance()
+        ctx.restore(cp)
+        assert ctx.peek().pc == 0x4
+        assert ctx.stream_pos == 1
+
+    def test_wrong_path_replay_identical(self):
+        """After a wrong-path excursion and restore, the correct path
+        produces identical addresses/outcomes (pure-function contract)."""
+        prog = generate_program("gcc", seed=3)
+        ctx = ThreadContext(prog, seed=9)
+        # Advance a bit.
+        for _ in range(50):
+            st = ctx.peek()
+            if st.opclass.is_control:
+                t, tg = ctx.resolve_control(st)
+                ctx.advance_control(st, t, tg)
+            else:
+                ctx.advance()
+        cp = ctx.checkpoint()
+        reference = self._collect(ctx, 30)
+        ctx.restore(cp)
+        # Wrong-path excursion: force the wrong direction once.
+        st = ctx.peek()
+        if st.opclass.is_control:
+            t, tg = ctx.resolve_control(st)
+            wrong = st.fall_block if (t and st.fall_block >= 0) else st.taken_block
+            if wrong >= 0:
+                ctx.advance_control(st, not t, wrong)
+                ctx.advance()
+        ctx.restore(cp)
+        assert self._collect(ctx, 30) == reference
+
+    @staticmethod
+    def _collect(ctx, n):
+        out = []
+        for _ in range(n):
+            st = ctx.peek()
+            if st.opclass.is_mem:
+                out.append(("m", ctx.mem_address(st, ctx.stream_pos)))
+            if st.opclass.is_control:
+                t, tg = ctx.resolve_control(st)
+                out.append(("c", t, tg))
+                ctx.advance_control(st, t, tg)
+            else:
+                ctx.advance()
+        return out
+
+    def test_call_stack_push_pop(self):
+        prog = generate_program("gcc", seed=3)
+        ctx = ThreadContext(prog, seed=9)
+        depth0 = len(ctx.call_stack)
+        for _ in range(5000):
+            st = ctx.peek()
+            if st.opclass == OpClass.CALL:
+                t, tg = ctx.resolve_control(st)
+                ctx.advance_control(st, t, tg)
+                assert len(ctx.call_stack) == depth0 + 1
+                break
+            if st.opclass.is_control:
+                t, tg = ctx.resolve_control(st)
+                ctx.advance_control(st, t, tg)
+            else:
+                ctx.advance()
+        else:
+            pytest.skip("program executed no CALL in 5000 instructions")
+
+    def test_ret_underflow_restarts_at_entry(self):
+        prog = _tiny_program()
+        # Build a direct RET context.
+        b = BasicBlock(bid=0, fall_block=0)
+        b.insts = [StaticInst(pc=0x0, opclass=OpClass.RET)]
+        p = SyntheticProgram(name="ret", blocks=[b])
+        ctx = ThreadContext(p, seed=0)
+        taken, target = ctx.resolve_control(ctx.peek())
+        assert taken and target == p.entry
+
+
+class TestBranchOutcomes:
+    def test_loop_branch_exits_every_trip(self):
+        bb = BranchBehavior(taken_bias=0.9, loop_period=10, loop_trip=4)
+        st = StaticInst(
+            pc=0x0, opclass=OpClass.BRANCH, srcs=(1,), branch=bb,
+            taken_block=0, fall_block=0,
+        )
+        b = BasicBlock(bid=0, fall_block=0, insts=[st])
+        ctx = ThreadContext(SyntheticProgram(name="loop", blocks=[b]), seed=5)
+        outcomes = [ctx.branch_taken(st, pos) for pos in range(0, 200, 10)]
+        exits = [i for i, t in enumerate(outcomes) if not t]
+        assert exits == [3, 7, 11, 15, 19]
+
+    def test_deterministic_branch_constant(self):
+        bb = BranchBehavior(taken_bias=1.0, predictability=1.0)
+        st = StaticInst(
+            pc=0x0, opclass=OpClass.BRANCH, srcs=(1,), branch=bb,
+            taken_block=0, fall_block=0,
+        )
+        b = BasicBlock(bid=0, fall_block=0, insts=[st])
+        ctx = ThreadContext(SyntheticProgram(name="det", blocks=[b]), seed=5)
+        assert all(ctx.branch_taken(st, p) for p in range(100))
+
+    def test_biased_coin_respects_bias(self):
+        bb = BranchBehavior(taken_bias=0.2, predictability=0.0)
+        st = StaticInst(
+            pc=0x0, opclass=OpClass.BRANCH, srcs=(1,), branch=bb,
+            taken_block=0, fall_block=0,
+        )
+        b = BasicBlock(bid=0, fall_block=0, insts=[st])
+        ctx = ThreadContext(SyntheticProgram(name="coin", blocks=[b]), seed=5)
+        rate = sum(ctx.branch_taken(st, p) for p in range(3000)) / 3000
+        assert 0.15 < rate < 0.25
+
+
+class TestMemAddresses:
+    def _ctx_with(self, mb):
+        st = StaticInst(pc=0x0, opclass=OpClass.LOAD, dest=1, srcs=(2,), mem=mb)
+        b = BasicBlock(bid=0, fall_block=0, insts=[st])
+        return ThreadContext(SyntheticProgram(name="mem", blocks=[b]), seed=5), st
+
+    def test_hot_within_window(self):
+        ctx, st = self._ctx_with(
+            MemBehavior(MemPattern.HOT, base=0x1000, footprint=1 << 20, hot_size=8192)
+        )
+        for p in range(200):
+            a = ctx.mem_address(st, p)
+            assert 0x1000 <= a < 0x1000 + 8192
+
+    def test_sequential_strides(self):
+        ctx, st = self._ctx_with(
+            MemBehavior(MemPattern.SEQUENTIAL, base=0x1000, footprint=1 << 16, stride=8)
+        )
+        a0 = ctx.mem_address(st, 0)
+        a1 = ctx.mem_address(st, 32)  # one stream "block" later
+        assert a1 - a0 == 8
+
+    def test_sequential_wraps_at_footprint(self):
+        ctx, st = self._ctx_with(
+            MemBehavior(MemPattern.SEQUENTIAL, base=0x1000, footprint=1 << 12, stride=8)
+        )
+        for p in range(0, 100_000, 1000):
+            a = ctx.mem_address(st, p)
+            assert 0x1000 <= a < 0x1000 + (1 << 12)
+
+    def test_random_within_footprint(self):
+        ctx, st = self._ctx_with(
+            MemBehavior(MemPattern.RANDOM, base=0x1000, footprint=1 << 20, page_local_16=12)
+        )
+        for p in range(500):
+            a = ctx.mem_address(st, p)
+            assert 0x1000 <= a < 0x1000 + (1 << 20)
+
+    def test_random_page_locality(self):
+        ctx, st = self._ctx_with(
+            MemBehavior(MemPattern.RANDOM, base=0x1000, footprint=1 << 26, page_local_16=12)
+        )
+        local = sum(ctx.mem_address(st, p) < 0x1000 + 65536 for p in range(2000))
+        assert 0.65 < local / 2000 < 0.85  # ~12/16 expected
+
+    def test_addresses_deterministic(self):
+        mb = MemBehavior(MemPattern.RANDOM, base=0, footprint=1 << 20)
+        ctx1, st1 = self._ctx_with(mb)
+        ctx2, st2 = self._ctx_with(mb)
+        assert [ctx1.mem_address(st1, p) for p in range(50)] == [
+            ctx2.mem_address(st2, p) for p in range(50)
+        ]

@@ -1,0 +1,73 @@
+"""Multi-seed replication helpers."""
+
+import pytest
+
+from repro.harness.replication import Replicated, replicate, replicated_ratio
+from repro.harness.runner import BenchScale, clear_caches
+
+TINY = BenchScale(
+    max_cycles=2_000, warmup_cycles=400, interval_cycles=400,
+    ace_window=800, profile_instructions=6_000, profile_window=1_500,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestReplicated:
+    def test_stats(self):
+        r = Replicated("x", (1.0, 2.0, 3.0))
+        assert r.mean == 2.0
+        assert r.n == 3
+        assert r.sem > 0
+        lo, hi = r.ci95()
+        assert lo < 2.0 < hi
+
+    def test_single_sample_sem_zero(self):
+        r = Replicated("x", (1.5,))
+        assert r.sem == 0.0
+
+
+class TestReplicate:
+    def test_default_metrics(self):
+        out = replicate("CPU-A", TINY, seeds=[1, 2])
+        assert set(out) == {"ipc", "iq_avf"}
+        assert out["ipc"].n == 2
+        assert all(v > 0 for v in out["ipc"].values)
+
+    def test_seeds_produce_distinct_values(self):
+        out = replicate("CPU-A", TINY, seeds=[1, 2])
+        assert out["ipc"].values[0] != out["ipc"].values[1]
+
+    def test_custom_metric(self):
+        out = replicate(
+            "CPU-A", TINY, seeds=[1],
+            metrics={"sq": lambda r: r.squashed},
+        )
+        assert out["sq"].n == 1
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate("CPU-A", TINY, seeds=[])
+
+
+class TestReplicatedRatio:
+    def test_visa_avf_ratio(self):
+        r = replicated_ratio(
+            "CPU-A", TINY, seeds=[1, 2],
+            metric=lambda res: res.iq_avf,
+            scheduler="visa",
+        )
+        assert r.n == 2
+        assert all(0.2 < v < 1.5 for v in r.values)
+
+    def test_identity_ratio_is_one(self):
+        r = replicated_ratio(
+            "CPU-A", TINY, seeds=[1],
+            metric=lambda res: res.ipc,
+        )
+        assert r.values == (1.0,)

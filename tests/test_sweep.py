@@ -1,0 +1,74 @@
+"""Parameter-sweep utility."""
+
+import pytest
+
+from repro.harness.runner import BenchScale, clear_caches
+from repro.harness.sweep import best_row, pareto_front, sweep
+
+TINY = BenchScale(
+    max_cycles=2_000, warmup_cycles=400, interval_cycles=400,
+    ace_window=800, profile_instructions=6_000, profile_window=1_500,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestSweep:
+    def test_grid_size(self):
+        rows = sweep(
+            "CPU-A", TINY,
+            axes={"scheduler": ["oldest", "visa"], "dispatch": [None, "opt2"]},
+        )
+        assert len(rows) == 4
+        assert {(r["scheduler"], r["dispatch"]) for r in rows} == {
+            ("oldest", None), ("oldest", "opt2"), ("visa", None), ("visa", "opt2"),
+        }
+
+    def test_default_metrics_present(self):
+        rows = sweep("CPU-A", TINY, axes={"scheduler": ["oldest"]})
+        assert {"ipc", "iq_avf", "max_iq_avf"} <= set(rows[0])
+
+    def test_normalized(self):
+        rows = sweep(
+            "CPU-A", TINY,
+            axes={"scheduler": ["oldest", "visa"]},
+            normalize_to={"scheduler": "oldest"},
+        )
+        base = next(r for r in rows if r["scheduler"] == "oldest")
+        assert base["ipc"] == pytest.approx(1.0)
+        assert base["iq_avf"] == pytest.approx(1.0)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("CPU-A", TINY, axes={})
+
+
+class TestSelectors:
+    ROWS = [
+        {"x": 1.0, "y": 1.0},
+        {"x": 2.0, "y": 3.0},
+        {"x": 3.0, "y": 2.0},
+    ]
+
+    def test_best_row(self):
+        assert best_row(self.ROWS, "y")["y"] == 3.0
+        assert best_row(self.ROWS, "x", maximize=False)["x"] == 1.0
+
+    def test_best_row_empty(self):
+        with pytest.raises(ValueError):
+            best_row([], "x")
+
+    def test_pareto_front(self):
+        # minimize x, maximize y: (1,1) and (2,3) survive; (3,2) is
+        # dominated by (2,3).
+        front = pareto_front(self.ROWS, minimize="x", maximize="y")
+        assert front == [{"x": 1.0, "y": 1.0}, {"x": 2.0, "y": 3.0}]
+
+    def test_pareto_duplicates_survive(self):
+        rows = [{"x": 1.0, "y": 1.0}, {"x": 1.0, "y": 1.0}]
+        assert len(pareto_front(rows, "x", "y")) == 2

@@ -1,0 +1,109 @@
+"""Table 3 workload mixes and personalities."""
+
+import pytest
+
+from repro.isa.personalities import PERSONALITIES, get_personality
+from repro.workloads import CATEGORIES, MIXES, get_mix, mixes_in_category
+
+
+class TestTable3:
+    """The nine mixes must be exactly the paper's Table 3."""
+
+    TABLE3 = {
+        "CPU-A": ("bzip2", "eon", "gcc", "perlbmk"),
+        "CPU-B": ("gap", "facerec", "crafty", "mesa"),
+        "CPU-C": ("gcc", "perlbmk", "facerec", "crafty"),
+        "MIX-A": ("gcc", "mcf", "vpr", "perlbmk"),
+        "MIX-B": ("mcf", "mesa", "crafty", "equake"),
+        "MIX-C": ("vpr", "facerec", "swim", "gap"),
+        "MEM-A": ("mcf", "equake", "vpr", "swim"),
+        "MEM-B": ("lucas", "galgel", "mcf", "vpr"),
+        "MEM-C": ("equake", "swim", "twolf", "galgel"),
+    }
+
+    def test_all_nine_present(self):
+        assert set(MIXES) == set(self.TABLE3)
+
+    @pytest.mark.parametrize("name", sorted(TABLE3))
+    def test_mix_contents(self, name):
+        assert get_mix(name).benchmarks == self.TABLE3[name]
+
+    def test_every_benchmark_has_personality(self):
+        for benchmarks in self.TABLE3.values():
+            for b in benchmarks:
+                get_personality(b)
+
+    def test_categories(self):
+        assert [m.category for m in mixes_in_category("CPU")] == ["CPU"] * 3
+        assert len(mixes_in_category("MEM")) == 3
+        assert CATEGORIES == ("CPU", "MIX", "MEM")
+
+    def test_groups_sorted(self):
+        assert [m.group for m in mixes_in_category("MIX")] == ["A", "B", "C"]
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(KeyError):
+            get_mix("CPU-Z")
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            mixes_in_category("GPU")
+
+
+class TestMixPrograms:
+    def test_one_program_per_thread(self):
+        programs = get_mix("CPU-A").programs(seed=1)
+        assert len(programs) == 4
+        assert [p.name for p in programs] == ["bzip2", "eon", "gcc", "perlbmk"]
+
+    def test_thread_seeds_decorrelated(self):
+        # MEM-B contains mcf and vpr; CPU-C repeats gcc-family threads —
+        # same-benchmark threads must still be distinct instances.
+        programs = get_mix("MIX-A").programs(seed=1)
+        again = get_mix("MIX-A").programs(seed=2)
+        assert programs[0].seed != again[0].seed
+
+
+class TestPersonalities:
+    def test_eighteen_table1_benchmarks(self):
+        assert len(PERSONALITIES) == 18
+
+    def test_all_validate(self):
+        for p in PERSONALITIES.values():
+            p.validate()
+
+    def test_ref_accuracy_present_for_all(self):
+        for p in PERSONALITIES.values():
+            assert p.ref_pc_accuracy is not None
+            assert 0.5 < p.ref_pc_accuracy <= 1.0
+
+    def test_mesa_has_lowest_paper_accuracy(self):
+        # Table 1: mesa = 74.9% is the paper's worst case.
+        worst = min(PERSONALITIES.values(), key=lambda p: p.ref_pc_accuracy)
+        assert worst.name == "mesa"
+
+    def test_mem_personalities_bigger_footprints(self):
+        cpu = [p.mem_footprint for p in PERSONALITIES.values() if p.category == "cpu"]
+        mem = [p.mem_footprint for p in PERSONALITIES.values() if p.category == "mem"]
+        assert max(cpu) < min(mem)
+
+    def test_mcf_is_pointer_chaser(self):
+        mcf = get_personality("mcf")
+        assert mcf.load_chain_frac > 0.3
+        assert mcf.mem_footprint >= 32 * 1024 * 1024
+
+    def test_unknown_personality_raises(self):
+        with pytest.raises(KeyError):
+            get_personality("doom")
+
+    def test_validation_rejects_bad_fraction(self):
+        import dataclasses
+        p = dataclasses.replace(get_personality("gcc"), dead_frac=1.5)
+        with pytest.raises(ValueError):
+            p.validate()
+
+    def test_validation_rejects_tiny_blocks(self):
+        import dataclasses
+        p = dataclasses.replace(get_personality("gcc"), block_size_mean=1)
+        with pytest.raises(ValueError):
+            p.validate()
