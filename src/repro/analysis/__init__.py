@@ -1,0 +1,38 @@
+"""Simulator-aware static analysis (``python -m repro.lint``).
+
+A small, pluggable AST-lint framework that enforces the invariants the
+simulator's correctness rests on but that no generic tool checks:
+
+* **determinism** — all nondeterminism must flow through seeded RNGs;
+  wall-clock reads and set-iteration-order escapes are flagged.
+* **counter-balance** — registered running counters
+  (``pred_ace_bits``, ``ready_pred_ace``, ``per_thread``, …) must be
+  decremented on a squash/remove path in every class that increments
+  them.
+* **slots** — attributes assigned on ``self`` in a ``__slots__`` class
+  must be declared in ``__slots__``.
+* **stage-purity** — pipeline-stage methods must not reach into another
+  structure's ``_``-private state.
+* **config-bounds** — numeric dataclass fields in ``config.py`` must be
+  covered by the class's ``validate()``.
+
+Checkers register themselves in :mod:`repro.analysis.registry`; the
+engine (:mod:`repro.analysis.engine`) walks files, applies
+``# lint: disable=<rule>`` suppressions and hands diagnostics to the
+text/JSON reporters.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import FileContext, LintEngine
+from repro.analysis.registry import BaseChecker, all_rules, get_checker, register
+
+__all__ = [
+    "BaseChecker",
+    "Diagnostic",
+    "FileContext",
+    "LintEngine",
+    "Severity",
+    "all_rules",
+    "get_checker",
+    "register",
+]

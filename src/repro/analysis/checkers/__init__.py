@@ -1,0 +1,19 @@
+"""Built-in simulator-aware checkers.
+
+Importing this package registers every built-in rule; the registry does
+this lazily so ``import repro.analysis`` stays cheap.
+"""
+
+from repro.analysis.checkers.config_bounds import ConfigBoundsChecker
+from repro.analysis.checkers.counter_balance import CounterBalanceChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.slots import SlotsCompletenessChecker
+from repro.analysis.checkers.stage_purity import StagePurityChecker
+
+__all__ = [
+    "ConfigBoundsChecker",
+    "CounterBalanceChecker",
+    "DeterminismChecker",
+    "SlotsCompletenessChecker",
+    "StagePurityChecker",
+]

@@ -1,0 +1,124 @@
+"""``config-bounds`` — numeric config fields must be validated.
+
+Every numeric field of a dataclass in ``config.py`` encodes a machine
+or mechanism parameter with a documented legal range (Table 2 sizes,
+``t_cache_miss``, interval lengths, IPC-region counts, …).  A field the
+class's ``validate()`` never looks at is a knob whose illegal values
+(zero-cycle intervals, negative latencies) sail straight into the
+simulator and surface as wrong numbers, not errors.
+
+The rule requires each ``int``/``float`` (including ``Optional``)
+field of a dataclass to be referenced as ``self.<field>`` somewhere in
+that class's ``validate`` method, and requires a ``validate`` method to
+exist at all once the class has numeric fields.  Only files named
+``config.py`` are scanned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import BaseChecker, register
+
+_NUMERIC_NAMES = frozenset({"int", "float"})
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        node = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(node, ast.Name) and node.id == "dataclass":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "dataclass":
+            return True
+    return False
+
+
+def _is_numeric_annotation(ann: ast.expr) -> bool:
+    """True for int/float annotations, optionally unioned with None
+    (``int | None``, ``Optional[float]``)."""
+    if isinstance(ann, ast.Name):
+        return ann.id in _NUMERIC_NAMES
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            return _is_numeric_annotation(ast.parse(ann.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        sides = [ann.left, ann.right]
+        non_none = [
+            s for s in sides if not (isinstance(s, ast.Constant) and s.value is None)
+        ]
+        return any(_is_numeric_annotation(s) for s in non_none)
+    if isinstance(ann, ast.Subscript):
+        base = ann.value
+        if isinstance(base, ast.Name) and base.id == "Optional":
+            return _is_numeric_annotation(ann.slice)
+    return False
+
+
+@register
+class ConfigBoundsChecker(BaseChecker):
+    rule = "config-bounds"
+    description = "numeric dataclass fields in config.py must be validated"
+    default_paths = frozenset({"config.py"})
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Diagnostic]:
+        numeric_fields: dict[str, ast.AnnAssign] = {}
+        validate: ast.FunctionDef | None = None
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+                and _is_numeric_annotation(stmt.annotation)
+            ):
+                numeric_fields[stmt.target.id] = stmt
+            elif isinstance(stmt, ast.FunctionDef) and stmt.name == "validate":
+                validate = stmt
+        if not numeric_fields:
+            return
+        if validate is None:
+            yield Diagnostic(
+                path=ctx.path,
+                line=cls.lineno,
+                col=cls.col_offset,
+                rule=self.rule,
+                message=(
+                    f"dataclass {cls.name} has numeric fields "
+                    f"{sorted(numeric_fields)} but no validate() method"
+                ),
+                severity=Severity.ERROR,
+                symbol=cls.name,
+            )
+            return
+        referenced: set[str] = set()
+        for node in ast.walk(validate):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                referenced.add(node.attr)
+        for name, site in sorted(numeric_fields.items()):
+            if name not in referenced:
+                yield Diagnostic(
+                    path=ctx.path,
+                    line=site.lineno,
+                    col=site.col_offset,
+                    rule=self.rule,
+                    message=(
+                        f"numeric field {cls.name}.{name} is never checked in "
+                        "validate(); add a range check or suppress with a "
+                        "rationale"
+                    ),
+                    severity=Severity.ERROR,
+                    symbol=f"{cls.name}.{name}",
+                )

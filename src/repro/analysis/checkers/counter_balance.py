@@ -1,0 +1,125 @@
+"""``counter-balance`` — paired updates of registered running counters.
+
+The IQ/ROB occupancy counters (``pred_ace_bits``, ``ready_pred_ace``,
+``per_thread``, ``rob_pred_ace_bits``) are running sums maintained
+incrementally on the hot path; the online AVF estimate is read straight
+from them, so an increment without the matching decrement on the
+squash/remove path silently inflates reliability numbers forever.
+
+For every class that increments a registered counter attribute on
+``self`` the rule requires a decrement of the same counter somewhere in
+the class, and at least one of those decrements must live in a method
+whose name indicates a deallocation path (``squash``, ``remove``,
+``commit``, ``flush``, ``pop``, ``retire``, ``drain``, ``dealloc``,
+``clear``, ``reset``, ``writeback``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import BaseChecker, register
+
+#: Counter attributes whose updates must balance.
+REGISTERED_COUNTERS = frozenset(
+    {"pred_ace_bits", "ready_pred_ace", "per_thread", "rob_pred_ace_bits"}
+)
+
+#: Method-name substrings that mark a deallocation/unwind path.
+_BALANCE_PATH_HINTS = (
+    "squash",
+    "remove",
+    "commit",
+    "flush",
+    "pop",
+    "retire",
+    "drain",
+    "dealloc",
+    "clear",
+    "reset",
+    "writeback",
+)
+
+
+def _counter_of_target(target: ast.expr) -> str | None:
+    """Name of the registered counter a ``self.X [...]`` target updates."""
+    node = target
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in REGISTERED_COUNTERS
+    ):
+        return node.attr
+    return None
+
+
+@register
+class CounterBalanceChecker(BaseChecker):
+    rule = "counter-balance"
+    description = "registered counters must be decremented on squash/remove paths"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Diagnostic]:
+        # counter -> (first increment node, methods that decrement it)
+        inc_site: dict[str, ast.AST] = {}
+        dec_methods: dict[str, set[str]] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, ast.AugAssign):
+                    continue
+                counter = _counter_of_target(stmt.target)
+                if counter is None:
+                    continue
+                if isinstance(stmt.op, ast.Add):
+                    inc_site.setdefault(counter, stmt)
+                elif isinstance(stmt.op, ast.Sub):
+                    dec_methods.setdefault(counter, set()).add(method.name)
+        for counter, site in sorted(inc_site.items()):
+            decs = dec_methods.get(counter, set())
+            if not decs:
+                yield self._diag(
+                    ctx,
+                    site,
+                    cls,
+                    counter,
+                    f"class {cls.name} increments counter {counter!r} but never "
+                    "decrements it; squashed/removed entries will leak into the "
+                    "running sum",
+                )
+            elif not any(
+                hint in name.lower() for name in decs for hint in _BALANCE_PATH_HINTS
+            ):
+                yield self._diag(
+                    ctx,
+                    site,
+                    cls,
+                    counter,
+                    f"class {cls.name} decrements counter {counter!r} only in "
+                    f"{sorted(decs)}; no decrement on a squash/remove path "
+                    f"(expected a method named like one of {_BALANCE_PATH_HINTS})",
+                )
+
+    def _diag(
+        self, ctx: FileContext, node: ast.AST, cls: ast.ClassDef, counter: str, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", cls.lineno),
+            col=getattr(node, "col_offset", cls.col_offset),
+            rule=self.rule,
+            message=message,
+            severity=Severity.ERROR,
+            symbol=f"{cls.name}.{counter}",
+        )

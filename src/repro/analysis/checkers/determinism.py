@@ -1,0 +1,240 @@
+"""``determinism`` — seeded-RNG-only nondeterminism.
+
+The simulator's replayability rests on all pseudo-random decisions
+flowing through explicitly seeded generators (``np.random.default_rng``
+with a ``SeedSequence``, ``random.Random(seed)``, or the pure
+``mix64``/``u01`` mixers).  This rule flags the three ways that
+invariant silently erodes:
+
+* calls through the *module-level* ``random`` / ``numpy.random`` API,
+  which share hidden global state (``random.random()``,
+  ``np.random.shuffle(...)``, …);
+* wall-clock reads (``time.time``, ``time.perf_counter``,
+  ``datetime.now``, …) — a result that depends on when it ran is not a
+  result;
+* iteration over a ``set``/``frozenset`` expression whose order can
+  escape into results (``list(set(...))``, comprehensions, ``for``
+  loops) — set order varies with insertion history and the per-process
+  hash seed.  Wrap in ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import BaseChecker, register
+
+#: random-module attributes that construct independent, seedable
+#: generators (allowed); everything else touches global RNG state.
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+#: numpy.random attributes that construct seeded generators.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+_TIME_BANNED = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+_DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
+
+#: Builtins whose output order mirrors the iterable's order.
+_ORDER_ESCAPES = frozenset({"list", "tuple", "enumerate", "iter", "next"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Literal set/set-comprehension or a ``set()``/``frozenset()`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class DeterminismChecker(BaseChecker):
+    rule = "determinism"
+    description = "all nondeterminism must flow through seeded RNGs"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        aliases = _ImportAliases()
+        aliases.visit(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, aliases, node)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iterable = node.iter
+                if _is_set_expr(iterable):
+                    yield self._diag(
+                        ctx,
+                        iterable,
+                        "iteration order of a set expression can escape into "
+                        "results; iterate sorted(...) instead",
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_call(
+        self, ctx: FileContext, aliases: "_ImportAliases", node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        func = node.func
+        # Order-sensitive builtin over a raw set expression.
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_ESCAPES
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            yield self._diag(
+                ctx,
+                node,
+                f"{func.id}() over a set expression leaks nondeterministic "
+                "ordering; use sorted(...)",
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            # Bare names imported from banned modules (from random import
+            # random; from time import time).
+            if isinstance(func, ast.Name):
+                origin = aliases.from_imports.get(func.id)
+                if origin == "random" and func.id not in _RANDOM_ALLOWED:
+                    yield self._diag(
+                        ctx,
+                        node,
+                        f"call to global-state RNG random.{func.id}(); use a "
+                        "seeded random.Random / np.random.default_rng instance",
+                    )
+                elif origin == "time" and func.id in _TIME_BANNED:
+                    yield self._diag(ctx, node, f"wall-clock read time.{func.id}()")
+            return
+
+        attr = func.attr
+        base = func.value
+        # random.<fn>(...)
+        if isinstance(base, ast.Name) and base.id in aliases.random_modules:
+            if attr not in _RANDOM_ALLOWED:
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"call to global-state RNG random.{attr}(); use a seeded "
+                    "random.Random / np.random.default_rng instance",
+                )
+            return
+        # np.random.<fn>(...) / numpy.random.<fn>(...)
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in aliases.numpy_modules
+        ):
+            if attr not in _NP_RANDOM_ALLOWED:
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"call to global-state RNG numpy.random.{attr}(); use "
+                    "np.random.default_rng(seed)",
+                )
+            return
+        # npr.<fn>(...) where npr aliases numpy.random itself.
+        if isinstance(base, ast.Name) and base.id in aliases.np_random_modules:
+            if attr not in _NP_RANDOM_ALLOWED:
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"call to global-state RNG numpy.random.{attr}(); use "
+                    "np.random.default_rng(seed)",
+                )
+            return
+        # time.<fn>(...)
+        if isinstance(base, ast.Name) and base.id in aliases.time_modules:
+            if attr in _TIME_BANNED:
+                yield self._diag(ctx, node, f"wall-clock read time.{attr}()")
+            return
+        # datetime.now() / datetime.datetime.now()
+        if attr in _DATETIME_BANNED:
+            if isinstance(base, ast.Name) and base.id in aliases.datetime_names:
+                yield self._diag(ctx, node, f"wall-clock read datetime.{attr}()")
+            elif (
+                isinstance(base, ast.Attribute)
+                and base.attr in ("datetime", "date")
+                and isinstance(base.value, ast.Name)
+                and base.value.id in aliases.datetime_modules
+            ):
+                yield self._diag(ctx, node, f"wall-clock read datetime.{base.attr}.{attr}()")
+
+    def _diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            severity=Severity.ERROR,
+        )
+
+
+class _ImportAliases(ast.NodeVisitor):
+    """Collect local names bound to the modules this rule polices."""
+
+    def __init__(self) -> None:
+        self.random_modules: set[str] = set()
+        self.numpy_modules: set[str] = set()
+        self.np_random_modules: set[str] = set()
+        self.time_modules: set[str] = set()
+        self.datetime_modules: set[str] = set()
+        self.datetime_names: set[str] = set()  # `from datetime import datetime`
+        self.from_imports: dict[str, str] = {}  # local name -> origin module
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_modules.add(local)
+            elif alias.name in ("numpy", "np"):
+                self.numpy_modules.add(alias.asname or "numpy")
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.np_random_modules.add(alias.asname)
+                else:
+                    self.numpy_modules.add("numpy")
+            elif alias.name == "time":
+                self.time_modules.add(local)
+            elif alias.name == "datetime":
+                self.datetime_modules.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.np_random_modules.add(alias.asname or "random")
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self.datetime_names.add(alias.asname or "datetime")
+                elif alias.name == "date":
+                    self.datetime_names.add(alias.asname or "date")
+        elif node.module in ("random", "time"):
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = node.module

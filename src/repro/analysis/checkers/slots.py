@@ -1,0 +1,118 @@
+"""``slots`` — ``__slots__`` declarations must be complete.
+
+Hot-path state classes declare ``__slots__`` both for footprint and as
+an explicit inventory of their mutable state.  An attribute assigned in
+a method but missing from ``__slots__`` raises ``AttributeError`` at
+runtime — but only on the first assignment, which for rarely-taken
+paths (squash, overflow) can hide for a long time.  This rule finds the
+mismatch statically.
+
+Classes with bases other than ``object`` are skipped: the attribute may
+legitimately live in a base class's ``__slots__`` (or ``__dict__``),
+which a single-module analysis cannot resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import BaseChecker, register
+
+
+def _slot_names(value: ast.expr) -> set[str] | None:
+    """Extract the declared slot names; None if not statically constant."""
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return {value.value}
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        names: set[str] = set()
+        for elt in value.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            names.add(elt.value)
+        return names
+    return None
+
+
+def _self_attr_targets(target: ast.expr) -> Iterator[ast.Attribute]:
+    """Yield ``self.X`` attribute nodes assigned by ``target`` (handles
+    tuple/list unpacking and starred elements)."""
+    if isinstance(target, ast.Attribute):
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            yield target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _self_attr_targets(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _self_attr_targets(target.value)
+    # Subscripts (self.x[i] = ...) mutate existing attributes: no check.
+
+
+@register
+class SlotsCompletenessChecker(BaseChecker):
+    rule = "slots"
+    description = "attributes assigned on self must appear in __slots__"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Diagnostic]:
+        if any(not (isinstance(b, ast.Name) and b.id == "object") for b in cls.bases):
+            return
+        slots: set[str] | None = None
+        class_level: set[str] = set()
+        for stmt in cls.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for tgt in targets:
+                if isinstance(tgt, ast.Name):
+                    if tgt.id == "__slots__" and value is not None:
+                        slots = _slot_names(value)
+                    else:
+                        class_level.add(tgt.id)
+        if slots is None:
+            return  # no (statically known) __slots__: nothing to enforce
+
+        reported: set[str] = set()
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(method):
+                assign_targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    assign_targets = stmt.targets
+                elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                    assign_targets = [stmt.target]
+                elif isinstance(stmt, ast.For):
+                    assign_targets = [stmt.target]
+                elif isinstance(stmt, ast.withitem) and stmt.optional_vars is not None:
+                    assign_targets = [stmt.optional_vars]
+                for tgt in assign_targets:
+                    for attr_node in _self_attr_targets(tgt):
+                        name = attr_node.attr
+                        if name in slots or name in class_level or name in reported:
+                            continue
+                        if name.startswith("__") and name.endswith("__"):
+                            continue
+                        reported.add(name)
+                        yield Diagnostic(
+                            path=ctx.path,
+                            line=attr_node.lineno,
+                            col=attr_node.col_offset,
+                            rule=self.rule,
+                            message=(
+                                f"attribute {name!r} assigned in "
+                                f"{cls.name}.{method.name} is missing from "
+                                f"__slots__ (will raise AttributeError at runtime)"
+                            ),
+                            severity=Severity.ERROR,
+                            symbol=f"{cls.name}.{name}",
+                        )

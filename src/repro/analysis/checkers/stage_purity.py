@@ -1,0 +1,123 @@
+"""``stage-purity`` — pipeline stages mutate foreign state via APIs only.
+
+The pipeline's cycle loop calls the stage methods in reverse-pipeline
+order; each stage coordinates the structures (IQ, ROB, LSQ, rename,
+caches) strictly through their public methods.  A stage that pokes
+another structure's ``_``-private state directly (``self.iq._consumers
+= ...``, ``inst._state.pop()``) bypasses that structure's invariant
+maintenance — exactly the class of refactor bug the counter-balance
+rule exists to catch after the fact; this rule catches it at the source.
+
+Only files named ``pipeline.py`` are scanned.  Mutating ``self._x`` is
+fine (own private state); mutating ``anything_else._x`` — by
+assignment, augmented assignment, ``del``, or calling a known mutator
+method (``pop``, ``append``, ``clear``, …) on it — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import BaseChecker, register
+
+#: Container methods that mutate their receiver.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _foreign_private_attr(node: ast.expr) -> ast.Attribute | None:
+    """Innermost ``X._priv`` attribute where ``X`` is not bare ``self``.
+
+    Walks through subscripts (``x._y[i]``) and nested attributes.
+    """
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        if isinstance(current, ast.Attribute):
+            name = current.attr
+            if name.startswith("_") and not _is_dunder(name):
+                base = current.value
+                if not (isinstance(base, ast.Name) and base.id == "self"):
+                    return current
+            current = current.value
+        else:
+            current = current.value
+    return None
+
+
+@register
+class StagePurityChecker(BaseChecker):
+    rule = "stage-purity"
+    description = "pipeline stages must not mutate foreign _-private state"
+    default_paths = frozenset({"pipeline.py"})
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Diagnostic]:
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(method):
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [stmt.target]
+                elif isinstance(stmt, ast.Delete):
+                    targets = stmt.targets
+                for tgt in targets:
+                    hit = _foreign_private_attr(tgt)
+                    if hit is not None:
+                        yield self._diag(ctx, hit, cls, method.name, "writes")
+                # Mutator-method call on a foreign private attribute:
+                # self.iq._consumers.pop(tag), other._waiting.clear(), ...
+                if (
+                    isinstance(stmt, ast.Call)
+                    and isinstance(stmt.func, ast.Attribute)
+                    and stmt.func.attr in _MUTATOR_METHODS
+                ):
+                    hit = _foreign_private_attr(stmt.func.value)
+                    if hit is not None:
+                        yield self._diag(ctx, hit, cls, method.name, "mutates")
+
+    def _diag(
+        self, ctx: FileContext, node: ast.Attribute, cls: ast.ClassDef, method: str, verb: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule=self.rule,
+            message=(
+                f"{cls.name}.{method} {verb} private state {node.attr!r} of "
+                "another object directly; go through that structure's public API"
+            ),
+            severity=Severity.ERROR,
+            symbol=f"{cls.name}.{method}",
+        )

@@ -1,0 +1,79 @@
+"""Command-line front end for the static-analysis subsystem.
+
+Invoked as ``python -m repro.lint <paths>``; exits 0 on a clean tree,
+1 when diagnostics were found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.registry import all_rules, get_checker
+from repro.analysis.reporters import render
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Simulator-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule}: {get_checker(rule).description}")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro.lint: error: no paths given", file=sys.stderr)
+        return EXIT_USAGE
+
+    rules = None
+    if args.rules is not None:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        engine = LintEngine(rules)
+        diags = engine.run(args.paths)
+    except (KeyError, FileNotFoundError) as exc:
+        # str(KeyError) repr-quotes its message; unwrap the original.
+        msg = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"repro.lint: error: {msg}", file=sys.stderr)
+        return EXIT_USAGE
+
+    print(render(diags, args.format))
+    return EXIT_FINDINGS if diags else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Lint engine: file discovery, parsing, checker dispatch, suppression.
+
+The engine is deliberately single-pass and stateless per file: every
+checker receives a :class:`FileContext` (path, source, parsed AST) and
+yields :class:`Diagnostic` records; the engine filters them through the
+file's suppression table and returns the sorted survivors.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity, sort_key
+from repro.analysis.registry import BaseChecker, make_checkers
+from repro.analysis.suppress import SuppressionTable, parse_suppressions
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", "build", "dist", ".mypy_cache"})
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may inspect about one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionTable
+
+    @property
+    def basename(self) -> str:
+        return os.path.basename(self.path)
+
+    def relpath(self, root: str | None = None) -> str:
+        try:
+            return os.path.relpath(self.path, root or os.getcwd())
+        except ValueError:  # different drive (Windows); keep absolute
+            return self.path
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a deterministic .py file list."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+class LintEngine:
+    """Run a set of checkers over files and collect diagnostics."""
+
+    def __init__(self, rules: Iterable[str] | None = None):
+        self.checkers: list[BaseChecker] = make_checkers(rules)
+
+    def check_source(self, source: str, path: str = "<string>") -> list[Diagnostic]:
+        """Lint one module given as text (unit-test/fixture entry)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="syntax",
+                    message=f"syntax error: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        ctx = FileContext(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+        found: list[Diagnostic] = []
+        for checker in self.checkers:
+            if not checker.applies_to(ctx):
+                continue
+            for diag in checker.check(ctx):
+                if not ctx.suppressions.is_suppressed(diag.rule, diag.line):
+                    found.append(diag)
+        return sorted(found, key=sort_key)
+
+    def check_file(self, path: str) -> list[Diagnostic]:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        return self.check_source(source, path=path)
+
+    def run(self, paths: Sequence[str]) -> list[Diagnostic]:
+        """Lint every .py file reachable from ``paths``."""
+        found: list[Diagnostic] = []
+        for path in iter_python_files(paths):
+            found.extend(self.check_file(path))
+        return sorted(found, key=sort_key)

@@ -1,0 +1,44 @@
+"""Text and JSON diagnostic reporters."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+def render_text(diags: Sequence[Diagnostic]) -> str:
+    """One ``path:line:col: severity [rule] message`` line per finding,
+    plus a summary line."""
+    lines = [d.format() for d in diags]
+    n_err = sum(1 for d in diags if d.severity == Severity.ERROR)
+    n_warn = len(diags) - n_err
+    if diags:
+        lines.append(f"found {len(diags)} problem(s) ({n_err} error(s), {n_warn} warning(s))")
+    else:
+        lines.append("no problems found")
+    return "\n".join(lines)
+
+
+def render_json(diags: Sequence[Diagnostic]) -> str:
+    """Machine-readable report: a stable JSON document for CI tooling."""
+    payload = {
+        "diagnostics": [d.to_json() for d in diags],
+        "summary": {
+            "total": len(diags),
+            "errors": sum(1 for d in diags if d.severity == Severity.ERROR),
+            "warnings": sum(1 for d in diags if d.severity == Severity.WARNING),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_RENDERERS = {"text": render_text, "json": render_json}
+
+
+def render(diags: Sequence[Diagnostic], fmt: str) -> str:
+    try:
+        return _RENDERERS[fmt](diags)
+    except KeyError:
+        raise KeyError(f"unknown report format {fmt!r}; available: {sorted(_RENDERERS)}") from None

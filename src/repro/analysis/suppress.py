@@ -1,0 +1,66 @@
+"""Suppression comments.
+
+Two forms, parsed from the token stream so string literals that merely
+*contain* the directive text are never honoured:
+
+* ``# lint: disable=<rule>[,<rule>...]`` trailing (or alone) on a line
+  suppresses those rules for that physical line.  For a multi-line
+  statement the engine matches on the diagnostic's anchor line.
+* ``# lint: disable-file=<rule>[,<rule>...]`` anywhere in the file
+  suppresses the rules for the whole file.
+
+``all`` is accepted as a wildcard rule name in both forms.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(r"#\s*lint:\s*disable\s*=\s*([A-Za-z0-9_,\-\s]+)")
+_FILE_RE = re.compile(r"#\s*lint:\s*disable-file\s*=\s*([A-Za-z0-9_,\-\s]+)")
+
+WILDCARD = "all"
+
+
+@dataclass
+class SuppressionTable:
+    """Suppressed rules per line plus file-wide suppressions."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_wide or WILDCARD in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        return rules is not None and (rule in rules or WILDCARD in rules)
+
+
+def _split_rules(spec: str) -> set[str]:
+    return {part.strip() for part in spec.split(",") if part.strip()}
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Extract the suppression table from a module's source text."""
+    table = SuppressionTable()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            file_match = _FILE_RE.search(tok.string)
+            if file_match:
+                table.file_wide |= _split_rules(file_match.group(1))
+                continue
+            line_match = _LINE_RE.search(tok.string)
+            if line_match:
+                line_rules = table.by_line.setdefault(tok.start[0], set())
+                line_rules |= _split_rules(line_match.group(1))
+    except tokenize.TokenError:
+        # Unterminated constructs: the engine reports the syntax error
+        # separately; no suppressions apply.
+        pass
+    return table

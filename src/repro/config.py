@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -47,6 +48,8 @@ class CacheConfig:
     def validate(self) -> None:
         if self.size <= 0 or self.line_size <= 0 or self.assoc <= 0:
             raise ValueError("cache size, line size and associativity must be positive")
+        if self.latency < 0 or self.ports <= 0:
+            raise ValueError("cache latency must be non-negative and ports positive")
         if self.size % self.line_size:
             raise ValueError("cache size must be a multiple of the line size")
         if self.num_lines % self.assoc:
@@ -70,6 +73,10 @@ class TLBConfig:
             raise ValueError("TLB entries and associativity must be positive")
         if self.entries % self.assoc:
             raise ValueError("TLB entries must be a multiple of the associativity")
+        if self.miss_latency <= 0:
+            raise ValueError("TLB miss latency must be positive")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page size must be a positive power of two")
 
 
 @dataclass
@@ -84,10 +91,16 @@ class BranchPredictorConfig:
     ras_entries: int = 32
 
     def validate(self) -> None:
-        if self.pht_entries & (self.pht_entries - 1):
-            raise ValueError("PHT entries must be a power of two")
+        if self.pht_entries <= 0 or self.pht_entries & (self.pht_entries - 1):
+            raise ValueError("PHT entries must be a positive power of two")
+        if not (0 < self.history_bits <= 30):
+            raise ValueError("history_bits must be in (0, 30]")
+        if self.btb_entries <= 0 or self.btb_assoc <= 0:
+            raise ValueError("BTB entries and associativity must be positive")
         if self.btb_entries % self.btb_assoc:
             raise ValueError("BTB entries must be a multiple of its associativity")
+        if self.ras_entries <= 0:
+            raise ValueError("RAS entries must be positive")
 
 
 @dataclass
@@ -144,17 +157,47 @@ class MachineConfig:
         """Raise ``ValueError`` for inconsistent configurations."""
         if self.num_threads <= 0:
             raise ValueError("num_threads must be positive")
-        if min(self.fetch_width, self.issue_width, self.commit_width) <= 0:
+        if min(self.fetch_width, self.decode_width, self.issue_width, self.commit_width) <= 0:
             raise ValueError("pipeline widths must be positive")
         if self.iq_size <= 0 or self.rob_size_per_thread <= 0 or self.lsq_size_per_thread <= 0:
             raise ValueError("queue sizes must be positive")
+        if self.fetch_queue_size <= 0:
+            raise ValueError("fetch_queue_size must be positive")
+        if (
+            min(
+                self.int_alu,
+                self.int_mult_div,
+                self.load_store_units,
+                self.fp_alu,
+                self.fp_mult_div_sqrt,
+            )
+            <= 0
+        ):
+            raise ValueError("functional-unit counts must be positive")
+        if (
+            min(
+                self.lat_int_alu,
+                self.lat_int_mult,
+                self.lat_int_div,
+                self.lat_fp_alu,
+                self.lat_fp_mult,
+                self.lat_fp_div,
+                self.lat_fp_sqrt,
+            )
+            <= 0
+        ):
+            raise ValueError("operation latencies must be positive")
+        if self.branch_mispredict_penalty < 0:
+            raise ValueError("branch_mispredict_penalty must be non-negative")
+        if self.memory_latency <= 0:
+            raise ValueError("memory_latency must be positive")
         for cache in (self.l1i, self.l1d, self.l2):
             cache.validate()
         self.itlb.validate()
         self.dtlb.validate()
         self.branch_predictor.validate()
 
-    def replace(self, **kwargs) -> "MachineConfig":
+    def replace(self, **kwargs: Any) -> "MachineConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
 
@@ -193,12 +236,18 @@ class ReliabilityConfig:
     def validate(self) -> None:
         if self.interval_cycles <= 0 or self.ace_window <= 0:
             raise ValueError("interval_cycles and ace_window must be positive")
+        if self.t_cache_miss < 0:
+            raise ValueError("t_cache_miss must be non-negative")
         if not (0.0 < self.dvm_trigger_fraction <= 1.0):
             raise ValueError("dvm_trigger_fraction must be in (0, 1]")
         if self.dvm_samples_per_interval <= 0 or self.dvm_ratio_period <= 0:
             raise ValueError("DVM sampling parameters must be positive")
         if not (0.0 < self.wq_ratio_min <= self.wq_ratio_initial <= self.wq_ratio_max):
             raise ValueError("wq_ratio bounds must satisfy min <= initial <= max")
+        if self.wq_ratio_increase_step <= 0.0:
+            raise ValueError("wq_ratio_increase_step must be positive")
+        if not (0.0 < self.wq_ratio_decrease_factor < 1.0):
+            raise ValueError("wq_ratio_decrease_factor must be in (0, 1)")
         if self.num_ipc_regions <= 0:
             raise ValueError("num_ipc_regions must be positive")
 
@@ -223,8 +272,14 @@ class SimulationConfig:
     def validate(self) -> None:
         if self.max_cycles <= 0:
             raise ValueError("max_cycles must be positive")
+        if self.max_instructions is not None and self.max_instructions <= 0:
+            raise ValueError("max_instructions must be positive when set")
         if self.warmup_cycles < 0 or self.warmup_cycles >= self.max_cycles:
             raise ValueError("warmup_cycles must be in [0, max_cycles)")
+        if self.bp_warmup_instructions < 0:
+            raise ValueError("bp_warmup_instructions must be non-negative")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
         self.reliability.validate()
 
     @staticmethod
@@ -232,7 +287,7 @@ class SimulationConfig:
         max_cycles: int = 20_000,
         warmup_cycles: int = 2_000,
         seed: int = 42,
-        **reliability_overrides,
+        **reliability_overrides: Any,
     ) -> "SimulationConfig":
         """A configuration scaled so every figure regenerates quickly.
 

@@ -1,7 +1,7 @@
 """The SMT out-of-order core: issue queue, schedulers, ROB, LSQ,
 functional units, rename and the top-level pipeline."""
 
-from repro.core.issue_queue import IssueQueue
+from repro.core.issue_queue import IQInvariantError, IssueQueue
 from repro.core.scheduler import IssueScheduler, OldestFirstScheduler, VISAScheduler, make_scheduler
 from repro.core.rob import ReorderBuffer
 from repro.core.lsq import LoadStoreQueue
@@ -10,6 +10,7 @@ from repro.core.rename import RenameTable
 from repro.core.pipeline import SMTPipeline, SimulationResult
 
 __all__ = [
+    "IQInvariantError",
     "IssueQueue",
     "IssueScheduler",
     "OldestFirstScheduler",

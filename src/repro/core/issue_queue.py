@@ -17,7 +17,18 @@ for resource accounting.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.isa.instruction import DynInst, DynState
+
+
+class IQInvariantError(RuntimeError):
+    """An IQ bookkeeping invariant was violated by the caller.
+
+    Raised instead of a bare ``KeyError``/silent underflow so the
+    failing tag, thread and state land in the message — these bugs
+    otherwise surface thousands of cycles later as wrong AVF numbers.
+    """
 
 
 class IssueQueue:
@@ -36,7 +47,12 @@ class IssueQueue:
         "squashed",
     )
 
-    def __init__(self, capacity: int, num_threads: int, bits_of=None):
+    def __init__(
+        self,
+        capacity: int,
+        num_threads: int,
+        bits_of: Callable[[DynInst], int] | None = None,
+    ):
         if capacity <= 0:
             raise ValueError("IQ capacity must be positive")
         self.capacity = capacity
@@ -44,12 +60,14 @@ class IssueQueue:
         self.waiting: dict[int, DynInst] = {}
         self.ready: dict[int, DynInst] = {}
         self._consumers: dict[int, list[DynInst]] = {}
-        self.per_thread = [0] * num_threads
+        self.per_thread: list[int] = [0] * num_threads
         # Predicted-ACE bits currently resident (online AVF numerator).
         self.pred_ace_bits = 0
         # Predicted-ACE instructions currently in the ready set (Fig. 2).
         self.ready_pred_ace = 0
-        self._bits_of = bits_of if bits_of is not None else (lambda inst: 0)
+        self._bits_of: Callable[[DynInst], int] = (
+            bits_of if bits_of is not None else (lambda inst: 0)
+        )
         self.inserted = 0
         self.squashed = 0
 
@@ -117,7 +135,13 @@ class IssueQueue:
 
     def remove_issued(self, inst: DynInst) -> None:
         """Deallocate the entry of an instruction selected for issue."""
-        del self.ready[inst.tag]
+        if self.ready.pop(inst.tag, None) is None:
+            where = "waiting" if inst.tag in self.waiting else "absent"
+            raise IQInvariantError(
+                f"remove_issued: instruction tag={inst.tag} thread={inst.thread} "
+                f"state={inst.state.name} is not in the ready set ({where}); "
+                "only scheduler-selected ready instructions may issue"
+            )
         self.per_thread[inst.thread] -= 1
         self.pred_ace_bits -= self._bits_of(inst)
         if inst.ace_pred:
@@ -136,6 +160,12 @@ class IssueQueue:
             for inst in victims:
                 del pool[inst.tag]
                 self.per_thread[tid] -= 1
+                if self.per_thread[tid] < 0:
+                    raise IQInvariantError(
+                        f"squash_thread: per_thread[{tid}] underflow removing "
+                        f"tag={inst.tag} state={inst.state.name}; entry count "
+                        "no longer reconciles with the resident set"
+                    )
                 self.pred_ace_bits -= self._bits_of(inst)
                 if is_ready_pool and inst.ace_pred:
                     self.ready_pred_ace -= 1
@@ -153,7 +183,7 @@ class IssueQueue:
         broadcast (squashed after it had already issued)."""
         self._consumers.pop(tag, None)
 
-    def ready_ages(self):
+    def ready_ages(self) -> list[DynInst]:
         """Ready instructions in age (tag) order — CPython dict order is
         insertion order and insertions happen in dispatch order, but
         wakeups reorder, so sort by tag."""

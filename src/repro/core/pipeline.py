@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.config import MachineConfig, SimulationConfig
 from repro.core.functional_units import FunctionalUnitPool, op_latency
@@ -94,8 +95,8 @@ class SimulationResult:
     l2_miss_rate: float
     l2_misses: int
     ace_fraction: float
-    ready_hist: np.ndarray | None = None
-    ready_hist_ace: np.ndarray | None = None
+    ready_hist: npt.NDArray[np.int64] | None = None
+    ready_hist_ace: npt.NDArray[np.float64] | None = None
     dvm_mean_ratio: float | None = None
 
     # ------------------------------------------------------------------
@@ -278,8 +279,8 @@ class SMTPipeline:
         self._warm_committed_pt = [0] * n
 
         # Optional ready-queue histogram (Figure 2).
-        self._hist = None
-        self._hist_ace = None
+        self._hist: npt.NDArray[np.int64] | None = None
+        self._hist_ace: npt.NDArray[np.float64] | None = None
         if self.sim.collect_ready_queue_histogram:
             self._hist = np.zeros(self.machine.iq_size + 1, dtype=np.int64)
             self._hist_ace = np.zeros(self.machine.iq_size + 1, dtype=np.float64)
@@ -382,6 +383,7 @@ class SMTPipeline:
         t = branch.thread
         self._squash_thread(t, branch.tag)
         ctx = self.contexts[t]
+        assert branch.checkpoint is not None  # set at fetch for control insts
         ctx.restore(branch.checkpoint)
         ctx.advance_control(branch.static, branch.actual_taken, branch.actual_target)
         self._last_fetch_line[t] = -1
@@ -440,6 +442,7 @@ class SMTPipeline:
         if not squashed:
             return
         oldest = min(squashed, key=lambda i: i.tag)
+        assert oldest.checkpoint is not None  # set at fetch for every inst
         self.contexts[tid].restore(oldest.checkpoint)
         self._last_fetch_line[tid] = -1
         self.flush_count += 1
@@ -558,9 +561,12 @@ class SMTPipeline:
         dispatch for the thread with the fewest predicted-ACE
         instructions in its fetch queue."""
         dvm = self.dvm
+        if dvm is None:
+            return
         all_stalled = all(self._outstanding_l2[t] > 0 for t in range(self.num_threads))
         if all_stalled and dvm.restore_eligible:
-            best_t, best_ace = None, None
+            best_t: int | None = None
+            best_ace: int | None = None
             for t in range(self.num_threads):
                 ace = sum(1 for i in self.fetch_q[t] if i.ace_pred)
                 if best_ace is None or ace < best_ace:
@@ -767,7 +773,7 @@ class SMTPipeline:
                     ctx.advance_control(st, taken, target)
                 else:
                     ctx.advance()
-        self.bp.stats.__init__()  # warm-up predictions don't count
+        self.bp.reset_stats()  # warm-up predictions don't count
         self.mem.reset_stats()  # warm-up accesses don't count
 
     def run(self) -> SimulationResult:

@@ -144,6 +144,11 @@ class BranchPredictor:
         ras = self._ras[thread]
         return ras.pop() if ras else None
 
+    def reset_stats(self) -> None:
+        """Zero the counters without disturbing the trained state (used
+        after functional warm-up: warm-up predictions don't count)."""
+        self.stats = BranchPredictorStats()
+
     def reset(self) -> None:
         self._pht = [2] * self.config.pht_entries
         self._hist = [0] * self.num_threads

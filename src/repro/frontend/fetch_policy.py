@@ -22,7 +22,7 @@ pipeline.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Any, Protocol
 
 from repro.isa.instruction import DynInst
 
@@ -30,7 +30,8 @@ from repro.isa.instruction import DynInst
 class CoreView(Protocol):
     """What a fetch policy may observe/request of the pipeline."""
 
-    num_threads: int
+    @property
+    def num_threads(self) -> int: ...
 
     def in_flight(self, tid: int) -> int: ...
 
@@ -206,7 +207,7 @@ _POLICIES = {
 }
 
 
-def make_fetch_policy(name: str, **kwargs) -> FetchPolicy:
+def make_fetch_policy(name: str, **kwargs: Any) -> FetchPolicy:
     """Instantiate a fetch policy by its paper name (case-insensitive)."""
     try:
         cls = _POLICIES[name.lower()]

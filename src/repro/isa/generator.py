@@ -91,7 +91,7 @@ class _UnreadPool:
     def push(self, reg: int, fp: bool) -> None:
         self.pool(fp).append(reg)
 
-    def pop(self, fp: bool, rng) -> int | None:
+    def pop(self, fp: bool, rng: np.random.Generator) -> int | None:
         pool = self.pool(fp)
         if not pool:
             return None

@@ -188,8 +188,10 @@ class DynInst:
     ace_pred: bool = True
     iq_leave_cycle: int = -1
     # Thread-context state before this instruction advanced the fetch
-    # point; restored on misprediction recovery and FLUSH refetch.
-    checkpoint: tuple | None = None
+    # point; restored on misprediction recovery and FLUSH refetch
+    # (the (block, index, stream_pos, call_stack) tuple of
+    # ThreadContext.checkpoint).
+    checkpoint: tuple[int, int, int, tuple[int, ...]] | None = None
     # The previous producer of this instruction's destination register,
     # for walk-back rename repair on squash.
     prev_producer: "DynInst | None" = None

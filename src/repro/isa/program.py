@@ -18,6 +18,7 @@ stack)`` — four small values per in-flight control instruction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.isa.instruction import (
     BranchBehavior,
@@ -125,7 +126,7 @@ class SyntheticProgram:
     def inst_at(self, pc: int) -> StaticInst:
         return self._pc_map[pc]
 
-    def all_insts(self):
+    def all_insts(self) -> Iterator[StaticInst]:
         for block in self.blocks:
             yield from block.insts
 

@@ -1,0 +1,15 @@
+"""``python -m repro.lint`` — simulator-aware static analysis.
+
+Thin executable wrapper around :mod:`repro.analysis.cli`; see
+``docs/static_analysis.md`` for the checker catalog and suppression
+syntax.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ both the 128-entry ITLB and 256-entry DTLB).
 from __future__ import annotations
 
 from repro.config import CacheConfig, TLBConfig
-from repro.memory.cache import SetAssocCache
+from repro.memory.cache import CacheStats, SetAssocCache
 
 
 class TLB:
@@ -38,7 +38,7 @@ class TLB:
         return 0 if hit else self.config.miss_latency
 
     @property
-    def stats(self):
+    def stats(self) -> CacheStats:
         return self._array.stats
 
     def invalidate_all(self) -> None:

@@ -66,12 +66,25 @@ class ACEStats:
         return self.ace / done if done else 0.0
 
 
+#: Called once per committed instruction when its oracle ACE-ness is final.
+ResolveCallback = Callable[[DynInst], None]
+#: Called when an architectural register lifetime closes, with the
+#: producer's analysis record and the closing cycle.
+RegisterLifetimeCallback = Callable[["_Record", int], None]
+
+
 class _ThreadAnalyzer:
     """Per-thread dynamic def-use liveness analysis."""
 
     __slots__ = ("window_size", "window", "last_writer", "stats", "_resolve_cb", "_rf_cb")
 
-    def __init__(self, window_size: int, resolve_cb, rf_cb, stats: ACEStats):
+    def __init__(
+        self,
+        window_size: int,
+        resolve_cb: ResolveCallback | None,
+        rf_cb: RegisterLifetimeCallback | None,
+        stats: ACEStats,
+    ):
         self.window_size = window_size
         self.window: deque[_Record] = deque()
         self.last_writer: dict[int, _Record] = {}
@@ -173,8 +186,8 @@ class ACEAnalyzer:
         self,
         num_threads: int,
         window_size: int = 40_000,
-        resolve_cb: Callable[[DynInst], None] | None = None,
-        rf_cb=None,
+        resolve_cb: ResolveCallback | None = None,
+        rf_cb: RegisterLifetimeCallback | None = None,
     ):
         if window_size <= 0:
             raise ValueError("window_size must be positive")

@@ -26,9 +26,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.config import MachineConfig
 from repro.isa.instruction import DynInst, DynState, OpClass
+
+
+class RegisterLifetime(Protocol):
+    """What the RF accounting needs from an ACE-analyzer record."""
+
+    commit_cycle: int
+    last_read_cycle: int
 
 
 class Structure(enum.IntEnum):
@@ -188,7 +196,7 @@ class AVFAccount:
             res = 1 if dyn.opclass.is_mem else max(dyn.exec_latency, 1)
             self._add(Structure.FU, self.fu_bits_oracle(dyn) * res, dyn.issue_cycle)
 
-    def on_rf_lifetime(self, rec, end_cycle: int) -> None:
+    def on_rf_lifetime(self, rec: RegisterLifetime, end_cycle: int) -> None:
         """Register-lifetime callback from the ACE analyzer.
 
         A register's bits are counted ACE from the producer's commit to

@@ -1,0 +1,6 @@
+"""Deliberately broken snippets, one per lint rule.
+
+These modules are *data* for ``tests/test_lint.py``: each must trip
+exactly its own checker.  They are never imported by the test (some
+would fail at runtime — that is the point).
+"""

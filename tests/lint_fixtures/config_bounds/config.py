@@ -1,0 +1,35 @@
+"""Fixture: `config-bounds` — unvalidated numeric dataclass fields.
+
+Named ``config.py`` because the rule only scans config modules.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PartiallyValidatedConfig:
+    interval_cycles: int = 10_000
+    t_cache_miss: int = 16  # never referenced in validate(): fires
+
+    def validate(self) -> None:
+        if self.interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+
+
+@dataclass
+class UnvalidatedConfig:
+    """Numeric fields but no validate() at all: fires on the class."""
+
+    max_cycles: int = 100_000
+    seed: int = 42
+
+
+@dataclass
+class FullyValidatedConfig:
+    """Every numeric field checked: must NOT fire."""
+
+    num_ipc_regions: int = 4
+
+    def validate(self) -> None:
+        if self.num_ipc_regions <= 0:
+            raise ValueError("num_ipc_regions must be positive")

@@ -1,0 +1,46 @@
+"""Fixture: `counter-balance` — increments without balanced decrements."""
+
+
+class LeakyQueue:
+    """Increments a registered counter but never decrements it."""
+
+    def __init__(self, num_threads):
+        self.pred_ace_bits = 0
+        self.entries = {}
+
+    def insert(self, inst, bits):
+        self.entries[inst.tag] = inst
+        self.pred_ace_bits += bits  # no decrement anywhere: leaks forever
+
+
+class LopsidedQueue:
+    """Decrements, but never on a squash/remove-style path."""
+
+    def __init__(self):
+        self.ready_pred_ace = 0
+
+    def insert(self, inst):
+        if inst.ace_pred:
+            self.ready_pred_ace += 1
+
+    def rebalance(self, inst):
+        # A decrement exists, but `rebalance` is not a deallocation
+        # path; squashed entries still leak.
+        if inst.ace_pred:
+            self.ready_pred_ace -= 1
+
+
+class BalancedQueue:
+    """Correctly balanced: must NOT fire."""
+
+    def __init__(self, num_threads):
+        self.per_thread = [0] * num_threads
+
+    def insert(self, inst):
+        self.per_thread[inst.thread] += 1
+
+    def remove_issued(self, inst):
+        self.per_thread[inst.thread] -= 1
+
+    def squash_thread(self, tid):
+        self.per_thread[tid] -= 1

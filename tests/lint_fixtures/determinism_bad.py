@@ -1,0 +1,40 @@
+"""Fixture: every way the `determinism` rule can fire."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def unseeded_module_rng():
+    # Global-state RNG calls.
+    a = random.random()
+    b = random.randint(0, 10)
+    c = np.random.rand(4)
+    np.random.shuffle([1, 2, 3])
+    return a, b, c
+
+
+def wall_clock():
+    t0 = time.time()
+    t1 = time.perf_counter()
+    stamp = datetime.now()
+    return t0, t1, stamp
+
+
+def set_order_escapes(tags):
+    snapshot = list(set(tags))  # order leaks into the result
+    out = []
+    for tag in {1, 2, 3}:  # literal-set iteration
+        out.append(tag)
+    squares = [t * t for t in set(tags)]  # comprehension over a set
+    return snapshot, out, squares
+
+
+def allowed_patterns(seed):
+    # None of these may fire: seeded constructors and sorted iteration.
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    local = random.Random(seed)
+    ordered = sorted(set([3, 1, 2]))
+    return rng, local, ordered

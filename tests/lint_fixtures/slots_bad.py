@@ -1,0 +1,29 @@
+"""Fixture: `slots` — attribute assigned but missing from __slots__."""
+
+
+class HotPathEntry:
+    __slots__ = ("tag", "thread")
+
+    def __init__(self, tag, thread):
+        self.tag = tag
+        self.thread = thread
+
+    def mark_squashed(self, cycle):
+        # `squash_cycle` is not in __slots__: AttributeError at runtime,
+        # but only on the (rare) squash path.
+        self.squash_cycle = cycle
+
+
+class CompleteEntry:
+    """Complete declaration: must NOT fire."""
+
+    __slots__ = ("tag", "state", "ready_cycle")
+
+    def __init__(self, tag):
+        self.tag = tag
+        self.state = 0
+        self.ready_cycle = -1
+
+    def wake(self, cycle):
+        self.ready_cycle = cycle
+        self.state = 1

@@ -1,0 +1,36 @@
+"""Fixture: `stage-purity` — a stage reaching into foreign private state.
+
+Named ``pipeline.py`` because the rule only scans pipeline modules.
+"""
+
+
+class BrokenPipeline:
+    def __init__(self, iq, rob):
+        self.iq = iq
+        self.rob = rob
+        self._cycle = 0
+
+    def _issue(self, inst):
+        # Direct write to another structure's private dict: bypasses the
+        # IQ's counter maintenance.
+        self.iq._consumers[inst.tag] = []
+
+    def _writeback(self, inst):
+        # Mutator call on a foreign private container.
+        self.iq._consumers.pop(inst.tag, None)
+
+    def _commit(self):
+        # Own private state: must NOT fire.
+        self._cycle += 1
+
+
+class CleanPipeline:
+    """Goes through public APIs only: must NOT fire."""
+
+    def __init__(self, iq):
+        self.iq = iq
+        self._pending = []
+
+    def _issue(self, inst):
+        self.iq.remove_issued(inst)
+        self._pending.append(inst)

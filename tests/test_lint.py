@@ -1,0 +1,220 @@
+"""The static-analysis subsystem: engine, suppressions, reporters, CLI,
+and each checker against its fixture and against the real tree."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import LintEngine, Severity, all_rules, get_checker
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import iter_python_files
+from repro.analysis.reporters import render
+
+HERE = os.path.dirname(__file__)
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+SRC = os.path.join(HERE, os.pardir, "src")
+
+#: rule -> its dedicated counterexample fixture.
+FIXTURE_OF = {
+    "determinism": os.path.join(FIXTURES, "determinism_bad.py"),
+    "counter-balance": os.path.join(FIXTURES, "counter_balance_bad.py"),
+    "slots": os.path.join(FIXTURES, "slots_bad.py"),
+    "stage-purity": os.path.join(FIXTURES, "stage_purity", "pipeline.py"),
+    "config-bounds": os.path.join(FIXTURES, "config_bounds", "config.py"),
+}
+
+
+def run_rule(rule, path):
+    return LintEngine([rule]).check_file(path)
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert set(FIXTURE_OF) <= set(all_rules())
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            get_checker("no-such-rule")
+
+    def test_descriptions_nonempty(self):
+        for rule in all_rules():
+            assert get_checker(rule).description
+
+
+class TestCheckersFireOnFixtures:
+    @pytest.mark.parametrize("rule", sorted(FIXTURE_OF))
+    def test_rule_fires_on_its_fixture(self, rule):
+        diags = run_rule(rule, FIXTURE_OF[rule])
+        assert diags, f"{rule} stayed silent on its counterexample"
+        assert all(d.rule == rule for d in diags)
+
+    @pytest.mark.parametrize("rule", sorted(FIXTURE_OF))
+    def test_other_rules_stay_silent_on_fixture(self, rule):
+        """Each fixture trips exactly its own checker."""
+        others = [r for r in FIXTURE_OF if r != rule]
+        diags = LintEngine(others).check_file(FIXTURE_OF[rule])
+        assert diags == []
+
+    def test_determinism_finds_all_three_categories(self):
+        messages = [d.message for d in run_rule("determinism", FIXTURE_OF["determinism"])]
+        assert any("global-state RNG" in m for m in messages)
+        assert any("wall-clock" in m for m in messages)
+        assert any("set expression" in m for m in messages)
+
+    def test_counter_balance_reports_both_failure_modes(self):
+        diags = run_rule("counter-balance", FIXTURE_OF["counter-balance"])
+        symbols = {d.symbol for d in diags}
+        assert "LeakyQueue.pred_ace_bits" in symbols
+        assert "LopsidedQueue.ready_pred_ace" in symbols
+        assert not any(s.startswith("BalancedQueue") for s in symbols)
+
+    def test_slots_names_the_missing_attribute(self):
+        diags = run_rule("slots", FIXTURE_OF["slots"])
+        assert {d.symbol for d in diags} == {"HotPathEntry.squash_cycle"}
+
+    def test_stage_purity_flags_write_and_mutator_call(self):
+        diags = run_rule("stage-purity", FIXTURE_OF["stage-purity"])
+        methods = {d.symbol for d in diags}
+        assert methods == {"BrokenPipeline._issue", "BrokenPipeline._writeback"}
+
+    def test_config_bounds_flags_field_and_missing_validate(self):
+        diags = run_rule("config-bounds", FIXTURE_OF["config-bounds"])
+        symbols = {d.symbol for d in diags}
+        assert "PartiallyValidatedConfig.t_cache_miss" in symbols
+        assert "UnvalidatedConfig" in symbols
+        assert not any(s.startswith("FullyValidatedConfig") for s in symbols)
+
+
+class TestRealTreeClean:
+    def test_src_tree_is_clean(self):
+        diags = LintEngine().run([SRC])
+        assert diags == [], "\n".join(d.format() for d in diags)
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        src = "import random\nx = random.random()  # lint: disable=determinism\n"
+        assert LintEngine(["determinism"]).check_source(src) == []
+
+    def test_line_suppression_is_rule_specific(self):
+        src = "import random\nx = random.random()  # lint: disable=slots\n"
+        diags = LintEngine(["determinism"]).check_source(src)
+        assert len(diags) == 1
+
+    def test_file_suppression(self):
+        src = (
+            "# lint: disable-file=determinism\n"
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.randint(0, 3)\n"
+        )
+        assert LintEngine(["determinism"]).check_source(src) == []
+
+    def test_wildcard_suppression(self):
+        src = "import random\nx = random.random()  # lint: disable=all\n"
+        assert LintEngine(["determinism"]).check_source(src) == []
+
+    def test_directive_inside_string_is_ignored(self):
+        src = 'import random\ns = "# lint: disable-file=all"\nx = random.random()\n'
+        assert len(LintEngine(["determinism"]).check_source(src)) == 1
+
+
+class TestEngine:
+    def test_syntax_error_becomes_diagnostic(self):
+        diags = LintEngine().check_source("def broken(:\n")
+        assert len(diags) == 1
+        assert diags[0].rule == "syntax"
+
+    def test_iter_python_files_deterministic_and_filtered(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        pycache = tmp_path / "__pycache__"
+        pycache.mkdir()
+        (pycache / "a.cpython-311.py").write_text("x = 1\n")
+        files = list(iter_python_files([str(tmp_path)]))
+        assert files == [str(tmp_path / "a.py"), str(tmp_path / "b.py")]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            LintEngine().run([os.path.join(FIXTURES, "does_not_exist.py")])
+
+
+class TestReporters:
+    def test_json_report_round_trips(self):
+        diags = run_rule("slots", FIXTURE_OF["slots"])
+        payload = json.loads(render(diags, "json"))
+        assert payload["summary"]["total"] == len(diags)
+        assert payload["diagnostics"][0]["rule"] == "slots"
+
+    def test_text_report_mentions_rule_and_location(self):
+        diags = run_rule("slots", FIXTURE_OF["slots"])
+        text = render(diags, "text")
+        assert "[slots]" in text
+        assert "slots_bad.py" in text
+
+    def test_severity_str(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestCLI:
+    def test_exit_codes(self, capsys):
+        assert lint_main([SRC]) == 0
+        assert lint_main([FIXTURE_OF["slots"]]) == 1
+        assert lint_main([]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in FIXTURE_OF:
+            assert rule in out
+
+    def test_rules_subset(self, capsys):
+        # Only the slots rule runs: the determinism fixture stays clean.
+        assert lint_main(["--rules", "slots", FIXTURE_OF["determinism"]]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert lint_main(["--rules", "bogus", SRC]) == 2
+        capsys.readouterr()
+
+    def test_json_format(self, capsys):
+        assert lint_main(["--format", "json", FIXTURE_OF["slots"]]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] >= 1
+
+    def test_module_entry_point(self):
+        """`python -m repro.lint` is the documented front door."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", SRC],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no problems found" in proc.stdout
+
+
+class TestMypyGate:
+    """Strict typing of the hot-path packages (CI enforces this; locally
+    the test skips when mypy is not installed)."""
+
+    def test_core_and_reliability_are_strict_clean(self):
+        pytest.importorskip("mypy")
+        env = dict(os.environ)
+        env["MYPYPATH"] = SRC + os.pathsep + env.get("MYPYPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--strict", "-p", "repro.core", "-p", "repro.reliability"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(SRC),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
