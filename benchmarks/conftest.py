@@ -17,8 +17,9 @@ _SRC = str(_ROOT / "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.harness.report import format_table, save_report  # noqa: E402
+from repro.harness.report import format_table, save_json_report, save_report  # noqa: E402
 from repro.harness.runner import BenchScale  # noqa: E402
+from repro.telemetry.provenance import collect_manifest  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -27,13 +28,27 @@ def scale():
 
 
 @pytest.fixture(scope="session")
-def report():
-    """report(name, rows_or_text, title) -> prints and persists."""
+def report(scale):
+    """report(name, rows_or_text, title) -> prints and persists.
+
+    Writes the human-readable table to ``reports/<name>.txt`` and, when
+    the rows are structured, a provenance-stamped ``reports/<name>.json``
+    (config hash, seed, git SHA, package versions) so every saved
+    number is traceable to the configuration that produced it.
+    """
+    manifest = collect_manifest(seed=scale.seed, extra={"bench_scale": scale.__dict__})
 
     def _report(name: str, rows, title: str) -> str:
         text = rows if isinstance(rows, str) else format_table(rows, title)
         print("\n" + text)
         save_report(name, text, directory=str(_ROOT / "reports"))
+        if not isinstance(rows, str):
+            save_json_report(
+                name,
+                {"title": title, "rows": list(rows)},
+                directory=str(_ROOT / "reports"),
+                manifest=manifest,
+            )
         return text
 
     return _report

@@ -7,6 +7,7 @@ this lazily so ``import repro.analysis`` stays cheap.
 from repro.analysis.checkers.config_bounds import ConfigBoundsChecker
 from repro.analysis.checkers.counter_balance import CounterBalanceChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.event_schema import EventSchemaChecker
 from repro.analysis.checkers.slots import SlotsCompletenessChecker
 from repro.analysis.checkers.stage_purity import StagePurityChecker
 
@@ -14,6 +15,7 @@ __all__ = [
     "ConfigBoundsChecker",
     "CounterBalanceChecker",
     "DeterminismChecker",
+    "EventSchemaChecker",
     "SlotsCompletenessChecker",
     "StagePurityChecker",
 ]

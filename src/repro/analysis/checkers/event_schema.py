@@ -1,0 +1,153 @@
+"""``event-schema`` — every ``bus.emit(...)`` matches a declared topic.
+
+The telemetry bus validates payload schemas only when a subscriber is
+attached (the zero-subscriber fast path returns before looking at the
+fields), so a mis-spelled field at a rarely-subscribed emit site could
+survive every test run.  This rule closes the gap statically: each
+``.emit(...)`` call site must
+
+* pass a ``TOPIC_*`` constant (not a string literal or arbitrary
+  expression) as the first argument;
+* name a topic that exists in the live
+  :mod:`repro.telemetry.topics` catalog;
+* supply every declared field exactly once, as keyword arguments, with
+  no extras, no ``**kwargs`` splats, and no stray positional payloads.
+
+Calls whose first argument is not a ``TOPIC_``-prefixed name are
+ignored — ``.emit`` is a common method name and this rule only polices
+the telemetry catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import FileContext
+from repro.analysis.registry import BaseChecker, register
+
+
+def _topic_catalog() -> dict[str, frozenset[str]]:
+    """Map ``TOPIC_*`` constant names to their declared field sets."""
+    from repro.telemetry import topics as topics_mod
+    from repro.telemetry.topics import Topic
+
+    return {
+        name: value.fields
+        for name, value in vars(topics_mod).items()
+        if name.startswith("TOPIC_") and isinstance(value, Topic)
+    }
+
+
+def _dotted_names() -> frozenset[str]:
+    """The registered topics' dotted names (``"dvm.sample"``, ...)."""
+    from repro.telemetry.topics import TOPICS
+
+    return frozenset(TOPICS)
+
+
+def _topic_name(node: ast.expr) -> str | None:
+    """The ``TOPIC_*`` constant name of an emit's first argument, if any.
+
+    Accepts both a bare name (``TOPIC_COMMIT``) and an attribute access
+    (``topics.TOPIC_COMMIT``).
+    """
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    return name if name.startswith("TOPIC_") else None
+
+
+@register
+class EventSchemaChecker(BaseChecker):
+    rule = "event-schema"
+    description = "bus.emit() call sites must match a registered topic schema"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        catalog = _topic_catalog()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            yield from self._check_emit(ctx, catalog, node)
+
+    # ------------------------------------------------------------------
+    def _check_emit(
+        self,
+        ctx: FileContext,
+        catalog: dict[str, frozenset[str]],
+        node: ast.Call,
+    ) -> Iterator[Diagnostic]:
+        if not node.args:
+            return  # zero-arg .emit() of some other API
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            # Only a literal naming a *registered* topic is ours to
+            # police; ``queue.emit("job-done")`` is some other API.
+            if first.value in _dotted_names():
+                yield self._diag(
+                    ctx,
+                    node,
+                    f"emit() with a string-literal topic {first.value!r}; pass "
+                    "the TOPIC_* constant so the schema is checkable",
+                )
+            return
+        name = _topic_name(first)
+        if name is None:
+            return  # not a telemetry-catalog emit; out of scope
+        if name not in catalog:
+            yield self._diag(
+                ctx,
+                node,
+                f"emit() of unknown topic constant {name}; it is not declared "
+                "in repro.telemetry.topics",
+            )
+            return
+        if len(node.args) > 1:
+            yield self._diag(
+                ctx,
+                node,
+                f"emit({name}, ...) passes positional payload arguments; "
+                "fields must be keywords",
+            )
+            return
+        if any(kw.arg is None for kw in node.keywords):
+            yield self._diag(
+                ctx,
+                node,
+                f"emit({name}, ...) uses a **kwargs splat; the field set must "
+                "be statically visible",
+            )
+            return
+        given = {kw.arg for kw in node.keywords if kw.arg is not None}
+        declared = catalog[name]
+        missing = sorted(declared - given)
+        extra = sorted(given - declared)
+        if missing or extra:
+            parts = []
+            if missing:
+                parts.append(f"missing {missing}")
+            if extra:
+                parts.append(f"extra {extra}")
+            yield self._diag(
+                ctx,
+                node,
+                f"emit({name}, ...) field set does not match the declared "
+                f"schema: {'; '.join(parts)}",
+            )
+
+    def _diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            severity=Severity.ERROR,
+        )

@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``         simulate one workload mix under a chosen configuration
+``timeline``    render the merged interval/decision timeline of one run
 ``profile``     offline per-PC vulnerability profiling of one benchmark
 ``reproduce``   regenerate one of the paper's tables/figures
 ``list``        enumerate benchmarks, mixes, policies and experiments
@@ -11,6 +12,8 @@ Examples::
 
     python -m repro run --mix MEM-A --scheduler visa --dispatch opt2
     python -m repro run --mix CPU-A --dvm 0.5 --cycles 24000
+    python -m repro timeline --mix MEM-A --dvm 0.5 --dispatch opt2 --chart
+    python -m repro timeline --input timeline.jsonl --json
     python -m repro profile mesa --instructions 50000
     python -m repro reproduce fig5
     python -m repro list
@@ -19,11 +22,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.harness import experiments
 from repro.harness.report import format_table, save_report
-from repro.harness.runner import BenchScale, mix_harmonic_ipc, run_sim
+from repro.harness.runner import BenchScale, mix_harmonic_ipc, run_recorded, run_sim
+from repro.telemetry.timeline import read_jsonl, render_timeline, timeline_json
 from repro.isa.generator import generate_program
 from repro.isa.personalities import PERSONALITIES
 from repro.reliability.avf import Structure
@@ -61,15 +66,29 @@ def _scale_from_args(args) -> BenchScale:
 
 def cmd_run(args) -> int:
     scale = _scale_from_args(args)
-    res = run_sim(
-        args.mix,
-        scale,
-        fetch_policy=args.fetch_policy,
-        scheduler=args.scheduler,
-        dispatch=args.dispatch,
-        dvm_target=_dvm_target(args, scale),
-        profiled=not args.no_profile,
-    )
+    if args.record:
+        res, recorder, _ = run_recorded(
+            args.mix,
+            scale,
+            fetch_policy=args.fetch_policy,
+            scheduler=args.scheduler,
+            dispatch=args.dispatch,
+            dvm_target=_dvm_target(args, scale),
+            profiled=not args.no_profile,
+            profile_stages=False,
+        )
+        n = recorder.to_jsonl(args.record, manifest=res.manifest)
+        print(f"recorded {n} events to {args.record}")
+    else:
+        res = run_sim(
+            args.mix,
+            scale,
+            fetch_policy=args.fetch_policy,
+            scheduler=args.scheduler,
+            dispatch=args.dispatch,
+            dvm_target=_dvm_target(args, scale),
+            profiled=not args.no_profile,
+        )
     mix = MIXES[args.mix]
     print(f"mix {args.mix} ({', '.join(mix.benchmarks)})")
     print(f"  cycles                {res.cycles}  (warm-up {res.warmup_cycles})")
@@ -100,6 +119,45 @@ def _dvm_target(args, scale) -> float | None:
         return None
     base = run_sim(args.mix, scale, fetch_policy=args.fetch_policy)
     return args.dvm * base.max_online_estimate
+
+
+def cmd_timeline(args) -> int:
+    if args.input:
+        manifest, events = read_jsonl(args.input)
+        title = f"decision timeline ({args.input})"
+        profile = None
+    else:
+        scale = _scale_from_args(args)
+        res, recorder, profile = run_recorded(
+            args.mix,
+            scale,
+            fetch_policy=args.fetch_policy,
+            scheduler=args.scheduler,
+            dispatch=args.dispatch,
+            dvm_target=_dvm_target(args, scale),
+            profile_stages=not args.no_self_profile,
+        )
+        manifest, events = res.manifest, recorder.events
+        dvm_part = "" if args.dvm is None else f", dvm={args.dvm}"
+        title = (
+            f"decision timeline [{args.mix}, fetch={args.fetch_policy}, "
+            f"dispatch={args.dispatch or 'none'}{dvm_part}]"
+        )
+        if args.save:
+            n = recorder.to_jsonl(args.save, manifest=manifest)
+            print(f"recorded {n} events to {args.save}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(timeline_json(events, manifest), indent=2, sort_keys=True))
+    else:
+        print(
+            render_timeline(
+                events, title=title, chart=args.chart, max_rows=args.max_rows
+            ),
+            end="",
+        )
+        if profile is not None:
+            print(profile.format())
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -174,7 +232,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--no-profile", action="store_true",
                        help="skip offline ACE profiling (all hints = ACE)")
+    p_run.add_argument("--record", metavar="PATH", default=None,
+                       help="save the decision/interval event stream as JSONL")
     p_run.set_defaults(func=cmd_run)
+
+    p_tl = sub.add_parser(
+        "timeline", help="merged interval/decision timeline of one run"
+    )
+    p_tl.add_argument("--mix", default="MEM-A", choices=sorted(MIXES))
+    p_tl.add_argument("--fetch-policy", default="icount",
+                      choices=["icount", "stall", "flush", "dg", "pdg", "rr"])
+    p_tl.add_argument("--scheduler", default="oldest", choices=["oldest", "visa"])
+    p_tl.add_argument("--dispatch", default=None,
+                      choices=["opt1", "opt1-linear", "opt2"])
+    p_tl.add_argument("--dvm", type=float, default=None, metavar="FRAC",
+                      help="enable DVM targeting FRAC * baseline MaxAVF")
+    p_tl.add_argument("--cycles", type=int, default=None)
+    p_tl.add_argument("--seed", type=int, default=None)
+    p_tl.add_argument("--input", metavar="PATH", default=None,
+                      help="render a previously recorded JSONL instead of simulating")
+    p_tl.add_argument("--json", action="store_true",
+                      help="emit the timeline as a JSON document")
+    p_tl.add_argument("--chart", action="store_true",
+                      help="append an online-AVF sparkline")
+    p_tl.add_argument("--max-rows", type=int, default=None,
+                      help="truncate the text timeline after N rows")
+    p_tl.add_argument("--save", metavar="PATH", default=None,
+                      help="also save the recording as JSONL")
+    p_tl.add_argument("--no-self-profile", action="store_true",
+                      help="skip the per-stage wall-time self-profile")
+    p_tl.set_defaults(func=cmd_timeline)
 
     p_prof = sub.add_parser("profile", help="offline vulnerability profiling")
     p_prof.add_argument("benchmark")

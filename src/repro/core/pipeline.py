@@ -46,6 +46,17 @@ from repro.reliability.resource_alloc import (
     IntervalSnapshot,
     UnlimitedDispatch,
 )
+from repro.telemetry.bus import EventBus
+from repro.telemetry.metrics import MetricsRegistry, SnapshotValue
+from repro.telemetry.profiler import StageProfiler
+from repro.telemetry.provenance import RunManifest, collect_manifest
+from repro.telemetry.topics import (
+    TOPIC_COMMIT,
+    TOPIC_DVM_RESTORE,
+    TOPIC_DVM_THROTTLE,
+    TOPIC_INTERVAL_CLOSE,
+    TOPIC_SQUASH,
+)
 
 #: Max threads fetched per cycle (ICOUNT.2.8-style front end).
 _FETCH_THREADS_PER_CYCLE = 2
@@ -98,6 +109,13 @@ class SimulationResult:
     ready_hist: npt.NDArray[np.int64] | None = None
     ready_hist_ace: npt.NDArray[np.float64] | None = None
     dvm_mean_ratio: float | None = None
+    #: Run provenance (config hash, seed, git SHA, ...); excluded from
+    #: comparison so results stay value-comparable across hosts/times.
+    manifest: RunManifest | None = field(default=None, compare=False, repr=False)
+    #: Flattened metrics-registry snapshot of the run.
+    metrics: dict[str, SnapshotValue] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -196,6 +214,9 @@ class SMTPipeline:
         dvm: DVMController | None = None,
         dvm_structure: Structure = Structure.IQ,
         avf_layout: AVFBitLayout | None = None,
+        bus: EventBus | None = None,
+        profiler: StageProfiler | None = None,
+        telemetry: bool = True,
     ):
         if not programs:
             raise ValueError("at least one program (thread) is required")
@@ -289,6 +310,27 @@ class SMTPipeline:
             1, rel.interval_cycles // rel.dvm_samples_per_interval
         )
 
+        # Telemetry: the event bus is shared with every controller so
+        # their decisions carry the pipeline's cycle/stage stamps.
+        # ``telemetry=False`` runs the bare pre-instrumentation loop
+        # (used by the overhead smoke check as the baseline).
+        self.telemetry = telemetry
+        self.bus = bus if bus is not None else EventBus()
+        self.profiler = profiler
+        self.metrics = MetricsRegistry()
+        if telemetry:
+            if self.dvm is not None:
+                self.dvm.bus = self.bus
+            self.dispatch_policy.bus = self.bus
+            self.base_fetch_policy.bus = self.bus
+            self._flush_policy.bus = self.bus
+        # Hot-topic wants() flags, re-read only when the bus's
+        # subscription version changes (zero-subscriber fast path).
+        self._bus_version = -1
+        self._want_commit = False
+        self._want_squash = False
+        self._want_throttle = False
+
     # ------------------------------------------------------------------
     # CoreView protocol (fetch policies observe the pipeline through it)
     # ------------------------------------------------------------------
@@ -326,6 +368,8 @@ class SMTPipeline:
         n = self.num_threads
         start = self.cycle % n
         cycle = self.cycle
+        emit_commit = self._want_commit
+        bus = self.bus
         for i in range(n):
             t = (start + i) % n
             rob = self.robs[t]
@@ -353,6 +397,8 @@ class SMTPipeline:
                 self._int_committed += 1
                 self._int_committed_pt[t] += 1
                 self.analyzer.commit(head, cycle)
+                if emit_commit:
+                    bus.emit(TOPIC_COMMIT, inst=head)
                 budget -= 1
 
     def _writeback(self) -> None:
@@ -433,6 +479,8 @@ class SMTPipeline:
                 squashed.append(inst)
         self.lsqs[tid].squash_after(after_tag)
         self.total_squashed += len(squashed)
+        if self._want_squash:
+            self.bus.emit(TOPIC_SQUASH, thread=tid, after_tag=after_tag, insts=squashed)
         return squashed
 
     def _do_flush(self, tid: int, after_tag: int) -> None:
@@ -530,6 +578,12 @@ class SMTPipeline:
                 # ACE bits would sit in the IQ for hundreds of cycles
                 # (Section 5.1); the freed slots go to other threads.
                 if dvm.triggered and self._outstanding_l2[t] > 0 and t != dvm.restore_thread:
+                    if self._want_throttle:
+                        self.bus.emit(
+                            TOPIC_DVM_THROTTLE,
+                            thread=t,
+                            outstanding_l2=self._outstanding_l2[t],
+                        )
                     continue
             rob = self.robs[t]
             lsq = self.lsqs[t]
@@ -571,6 +625,8 @@ class SMTPipeline:
                 ace = sum(1 for i in self.fetch_q[t] if i.ace_pred)
                 if best_ace is None or ace < best_ace:
                     best_t, best_ace = t, ace
+            if best_t != dvm.restore_thread and self.bus.wants(TOPIC_DVM_RESTORE):
+                self.bus.emit(TOPIC_DVM_RESTORE, thread=best_t, ace_count=best_ace)
             dvm.set_restore_thread(best_t)
         else:
             dvm.set_restore_thread(None)
@@ -727,6 +783,22 @@ class SMTPipeline:
             ),
         )
         self.intervals.append(rec)
+        self.metrics.histogram("interval.online_avf").observe(rec.online_avf_estimate)
+        bus = self.bus
+        if bus.wants(TOPIC_INTERVAL_CLOSE):
+            bus.emit(
+                TOPIC_INTERVAL_CLOSE,
+                index=rec.index,
+                end_cycle=rec.end_cycle,
+                committed=rec.committed,
+                ipc=rec.ipc,
+                avg_ready_queue_len=rec.avg_ready_queue_len,
+                avg_waiting_queue_len=rec.avg_waiting_queue_len,
+                l2_misses=rec.l2_misses,
+                online_avf_estimate=rec.online_avf_estimate,
+                online_rob_estimate=rec.online_rob_estimate,
+                iq_limit=rec.iq_limit,
+            )
         self._int_committed = 0
         self._int_committed_pt = [0] * self.num_threads
         self._int_rql_sum = 0
@@ -776,31 +848,125 @@ class SMTPipeline:
         self.bp.reset_stats()  # warm-up predictions don't count
         self.mem.reset_stats()  # warm-up accesses don't count
 
+    def _refresh_want_flags(self) -> None:
+        """Re-read the hot-topic subscription flags (cached against
+        ``bus.version`` so the zero-subscriber loop never rechecks)."""
+        bus = self.bus
+        self._bus_version = bus.version
+        self._want_commit = bus.wants(TOPIC_COMMIT)
+        self._want_squash = bus.wants(TOPIC_SQUASH)
+        self._want_throttle = bus.wants(TOPIC_DVM_THROTTLE)
+
     def run(self) -> SimulationResult:
         """Simulate ``sim.max_cycles`` cycles and return the results."""
         self._functional_warmup()
         max_cycles = self.sim.max_cycles
         max_insts = self.sim.max_instructions
         warm_marked = False
+        profiler = self.profiler
+        bus = self.bus if (self.telemetry or profiler is not None) else None
+        if profiler is not None:
+            profiler.start_run()
         for cycle in range(max_cycles):
             self.cycle = cycle
             if not warm_marked and cycle == self.sim.warmup_cycles:
                 self._warm_committed_pt = list(self.committed_per_thread)
                 warm_marked = True
-            self._commit()
-            self._writeback()
-            self._issue()
-            self._dispatch()
-            self._fetch()
-            self._tick_stats()
+            if bus is None:
+                # Bare loop: identical to the pre-telemetry pipeline.
+                self._commit()
+                self._writeback()
+                self._issue()
+                self._dispatch()
+                self._fetch()
+                self._tick_stats()
+            elif profiler is None:
+                bus.cycle = cycle
+                if bus.version != self._bus_version:
+                    self._refresh_want_flags()
+                bus.stage = "commit"
+                self._commit()
+                bus.stage = "writeback"
+                self._writeback()
+                bus.stage = "issue"
+                self._issue()
+                bus.stage = "dispatch"
+                self._dispatch()
+                bus.stage = "fetch"
+                self._fetch()
+                bus.stage = "tick"
+                self._tick_stats()
+            else:
+                bus.cycle = cycle
+                if bus.version != self._bus_version:
+                    self._refresh_want_flags()
+                profiler.cycle_start()
+                bus.stage = "commit"
+                self._commit()
+                profiler.lap("commit")
+                bus.stage = "writeback"
+                self._writeback()
+                profiler.lap("writeback")
+                bus.stage = "issue"
+                self._issue()
+                profiler.lap("issue")
+                bus.stage = "dispatch"
+                self._dispatch()
+                profiler.lap("dispatch")
+                bus.stage = "fetch"
+                self._fetch()
+                profiler.lap("fetch")
+                bus.stage = "tick"
+                self._tick_stats()
+                profiler.lap("tick")
             if max_insts is not None and self.total_committed >= max_insts:
                 break
+        if bus is not None:
+            bus.stage = ""
+        if profiler is not None:
+            profiler.end_run()
         final_cycle = self.cycle + 1
         if self.sim.warmup_cycles == 0:
             self._warm_committed_pt = [0] * self.num_threads
         self.analyzer.flush(final_cycle)
         self.avf.close(final_cycle)
         return self._build_result(final_cycle)
+
+    def _publish_metrics(self, final_cycle: int) -> None:
+        """Publish every component's stats into the hierarchical
+        registry — the single export surface replacing ad-hoc stat
+        attribute spelunking across pipeline components."""
+        m = self.metrics
+        core = m.child("pipeline")
+        core.counter("cycles").inc(final_cycle)
+        core.counter("commit.total").inc(self.total_committed)
+        for t, c in enumerate(self.committed_per_thread):
+            core.counter(f"commit.thread{t}").inc(c)
+        core.counter("squash.total").inc(self.total_squashed)
+        core.counter("flush.count").inc(self.flush_count)
+        m.gauge("frontend.bp.accuracy").set(self.bp.stats.direction_accuracy)
+        m.gauge("mem.l1d.miss_rate").set(self.mem.l1d.stats.miss_rate)
+        m.gauge("mem.l2.miss_rate").set(self.mem.l2.stats.miss_rate)
+        m.counter("mem.l2.misses").inc(self.mem.l2_miss_count)
+        m.gauge("reliability.ace_fraction").set(self.analyzer.stats.ace_fraction)
+        for s in Structure:
+            m.gauge(f"reliability.avf.{s.name.lower()}").set(self.avf.overall_avf(s))
+        m.gauge("dispatch.iq_limit").set(self.dispatch_policy.iq_limit)
+        if self.dvm is not None:
+            dvm = m.child("dvm")
+            stats = self.dvm.stats
+            dvm.counter("samples").inc(stats.samples)
+            dvm.counter("triggered_samples").inc(stats.triggered_samples)
+            dvm.counter("l2_triggers").inc(stats.l2_triggers)
+            dvm.counter("throttled_dispatch_checks").inc(stats.throttled_dispatch_checks)
+            dvm.counter("restore_grants").inc(stats.restore_grants)
+            dvm.gauge("mean_ratio").set(stats.mean_ratio)
+            dvm.gauge("wq_ratio").set(self.dvm.wq_ratio)
+        if self.profiler is not None:
+            prof = self.profiler.report()
+            m.gauge("telemetry.cycles_per_sec").set(prof.cycles_per_sec)
+            for stage, share in prof.shares().items():
+                m.gauge(f"telemetry.stage_share.{stage}").set(share)
 
     def _build_result(self, final_cycle: int) -> SimulationResult:
         warm_pt = tuple(
@@ -809,6 +975,10 @@ class SMTPipeline:
         bp_acc = self.bp.stats.direction_accuracy
         hist = self._hist.copy() if self._hist is not None else None
         hist_ace = self._hist_ace.copy() if self._hist_ace is not None else None
+        self._publish_metrics(final_cycle)
+        manifest = (
+            collect_manifest(self.machine, self.sim) if self.telemetry else None
+        )
         return SimulationResult(
             cycles=final_cycle,
             warmup_cycles=min(self.sim.warmup_cycles, final_cycle),
@@ -833,4 +1003,6 @@ class SMTPipeline:
             dvm_mean_ratio=(
                 self.dvm.stats.mean_ratio if self.dvm is not None else None
             ),
+            manifest=manifest,
+            metrics=self.metrics.snapshot(),
         )

@@ -25,6 +25,8 @@ from __future__ import annotations
 from typing import Any, Protocol
 
 from repro.isa.instruction import DynInst
+from repro.telemetry.bus import EventBus
+from repro.telemetry.topics import TOPIC_FETCH_FLUSH
 
 
 class CoreView(Protocol):
@@ -46,6 +48,10 @@ class FetchPolicy:
     """Base policy: ICOUNT ordering, no gating."""
 
     name = "base"
+
+    def __init__(self) -> None:
+        #: Telemetry spine; the pipeline swaps in its shared bus.
+        self.bus = EventBus()
 
     def priority(self, core: CoreView) -> list[int]:
         """Thread ids, highest fetch priority first (ICOUNT order)."""
@@ -98,6 +104,7 @@ class RoundRobinPolicy(FetchPolicy):
     name = "rr"
 
     def __init__(self) -> None:
+        super().__init__()
         self._turn = 0
 
     def priority(self, core: CoreView) -> list[int]:
@@ -124,6 +131,8 @@ class FlushPolicy(StallPolicy):
         # Flush everything in the offending thread younger than the
         # missing load; fetch stays gated via the STALL rule until the
         # miss returns.
+        if self.bus.wants(TOPIC_FETCH_FLUSH):
+            self.bus.emit(TOPIC_FETCH_FLUSH, thread=inst.thread, after_tag=inst.tag)
         core.request_flush(inst.thread, inst.tag)
 
 
@@ -133,6 +142,7 @@ class DGPolicy(FetchPolicy):
     name = "dg"
 
     def __init__(self, threshold: int = 2):
+        super().__init__()
         if threshold < 1:
             raise ValueError("DG threshold must be >= 1")
         self.threshold = threshold
@@ -147,6 +157,7 @@ class PDGPolicy(FetchPolicy):
     name = "pdg"
 
     def __init__(self, threshold: int = 2, table_size: int = 1024):
+        super().__init__()
         if threshold < 1:
             raise ValueError("PDG threshold must be >= 1")
         if table_size & (table_size - 1):

@@ -6,8 +6,11 @@ Every bench prints its reproduction table and appends it to
 
 from __future__ import annotations
 
+import json
 import os
 from collections.abc import Iterable
+
+from repro.telemetry.provenance import RunManifest, collect_manifest
 
 
 def _fmt(value) -> str:
@@ -42,4 +45,30 @@ def save_report(name: str, text: str, directory: str = "reports") -> str:
     path = os.path.join(directory, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text)
+    return path
+
+
+def save_json_report(
+    name: str,
+    payload: dict | list,
+    directory: str = "reports",
+    manifest: RunManifest | None = None,
+) -> str:
+    """Write ``reports/<name>.json`` stamped with a provenance manifest.
+
+    ``payload`` is the report body (table rows or any JSON-serializable
+    document); the manifest (collected now when not supplied) records
+    the config hash, seed, git state and package versions that produced
+    it, so saved numbers stay traceable to the tree state behind them.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    doc = {
+        "name": name,
+        "manifest": (manifest or collect_manifest()).to_dict(),
+        "data": payload,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path

@@ -30,6 +30,8 @@ from repro.reliability.resource_alloc import (
     DynamicIQAllocation,
     L2MissSensitiveAllocation,
 )
+from repro.telemetry.profiler import StageProfile, StageProfiler
+from repro.telemetry.timeline import TimelineRecorder
 from repro.workloads import get_mix, mixes_in_category
 
 
@@ -180,6 +182,52 @@ def run_sim(
     if use_cache:
         _RESULTS[key] = result
     return result
+
+
+def run_recorded(
+    mix_name: str,
+    scale: BenchScale,
+    *,
+    fetch_policy: str = "icount",
+    scheduler: str = "oldest",
+    dispatch: str | None = None,
+    dvm_target: float | None = None,
+    dvm_static_ratio: float | None = None,
+    profiled: bool = True,
+    profile_stages: bool = True,
+    event_limit: int = 200_000,
+) -> tuple[SimulationResult, TimelineRecorder, StageProfile | None]:
+    """One uncached simulation with a decision timeline attached.
+
+    Builds the same pipeline as :func:`run_sim` but subscribes a
+    :class:`~repro.telemetry.timeline.TimelineRecorder` to the
+    interval/decision topics and (optionally) a
+    :class:`~repro.telemetry.profiler.StageProfiler`.  Results are never
+    cached: the recorder and profile belong to this specific run.
+    """
+    machine = MachineConfig(num_threads=len(get_mix(mix_name).benchmarks))
+    sim = scale.sim_config()
+    dvm = None
+    if dvm_target is not None:
+        dvm = DVMController(
+            dvm_target, config=sim.reliability, static_ratio=dvm_static_ratio
+        )
+    profiler = StageProfiler() if profile_stages else None
+    pipe = SMTPipeline(
+        get_programs(mix_name, scale, profiled),
+        machine=machine,
+        sim=sim,
+        fetch_policy=fetch_policy,
+        scheduler=scheduler,
+        dispatch_policy=_make_dispatch(dispatch, scale, machine),
+        dvm=dvm,
+        profiler=profiler,
+    )
+    recorder = TimelineRecorder(pipe.bus, limit=event_limit)
+    with recorder:
+        result = pipe.run()
+    profile = profiler.report() if profiler is not None else None
+    return result, recorder, profile
 
 
 def single_thread_ipc(

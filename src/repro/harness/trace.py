@@ -26,6 +26,9 @@ from dataclasses import asdict, dataclass
 
 from repro.core.pipeline import SMTPipeline
 from repro.isa.instruction import DynInst, DynState
+from repro.telemetry.bus import Event, Subscription
+from repro.telemetry.provenance import collect_manifest
+from repro.telemetry.topics import TOPIC_COMMIT, TOPIC_SQUASH
 
 
 @dataclass(frozen=True)
@@ -85,7 +88,14 @@ def _event_of(dyn: DynInst) -> TraceEvent:
 
 
 class PipelineTracer:
-    """Records TraceEvents by hooking the pipeline's commit/squash paths."""
+    """Records TraceEvents from the pipeline's telemetry bus.
+
+    The tracer subscribes to the ``pipeline.commit`` and
+    ``pipeline.squash`` topics (it used to monkey-patch the pipeline's
+    commit/squash methods; the bus gives the same per-instruction
+    stream without touching pipeline internals).  The traced pipeline
+    must have telemetry enabled (the default).
+    """
 
     def __init__(self, pipeline: SMTPipeline, limit: int = 100_000,
                  include_squashed: bool = True):
@@ -95,36 +105,31 @@ class PipelineTracer:
         self.limit = limit
         self.include_squashed = include_squashed
         self.events: list[TraceEvent] = []
-        self._orig_commit = None
-        self._orig_squash = None
+        self._subs: list[Subscription] = []
 
     # ------------------------------------------------------------------
+    def _on_commit(self, event: Event) -> None:
+        if len(self.events) < self.limit:
+            self.events.append(_event_of(event["inst"]))
+
+    def _on_squash(self, event: Event) -> None:
+        for dyn in event["insts"]:
+            if len(self.events) >= self.limit:
+                break
+            self.events.append(_event_of(dyn))
+
     def __enter__(self) -> "PipelineTracer":
-        pipe = self.pipeline
-        self._orig_commit = pipe.analyzer.commit
-        self._orig_squash = pipe._squash_thread
-
-        def commit_hook(dyn, cycle):
-            if len(self.events) < self.limit:
-                self.events.append(_event_of(dyn))
-            self._orig_commit(dyn, cycle)
-
-        def squash_hook(tid, after_tag):
-            squashed = self._orig_squash(tid, after_tag)
+        if not self._subs:
+            bus = self.pipeline.bus
+            self._subs = [bus.subscribe(TOPIC_COMMIT, self._on_commit)]
             if self.include_squashed:
-                for dyn in squashed:
-                    if len(self.events) >= self.limit:
-                        break
-                    self.events.append(_event_of(dyn))
-            return squashed
-
-        pipe.analyzer.commit = commit_hook
-        pipe._squash_thread = squash_hook
+                self._subs.append(bus.subscribe(TOPIC_SQUASH, self._on_squash))
         return self
 
     def __exit__(self, *exc) -> None:
-        self.pipeline.analyzer.commit = self._orig_commit
-        self.pipeline._squash_thread = self._orig_squash
+        for sub in self._subs:
+            sub.close()
+        self._subs = []
 
     # ------------------------------------------------------------------
     def committed(self) -> list[TraceEvent]:

@@ -18,7 +18,15 @@ import numpy as np
 
 @dataclass(frozen=True)
 class IntervalTraceStats:
-    """Summary of one per-interval AVF trace."""
+    """Summary of one per-interval AVF trace.
+
+    Undefined quantities are NaN, not 0 or inf: an empty trace has no
+    mean, a zero-mean trace has no coefficient of variation, and a
+    trace touching zero has no meaningful max/min ratio.  NaN keeps
+    "undefined" from masquerading as a real measurement in downstream
+    aggregation (0.0 would deflate averages; inf would dominate them).
+    Use ``math.isnan`` to test before aggregating.
+    """
 
     n: int
     mean: float
@@ -29,23 +37,41 @@ class IntervalTraceStats:
     @property
     def cv(self) -> float:
         """Coefficient of variation — the paper's "time varying
-        behavior" in one number."""
-        return self.std / self.mean if self.mean else 0.0
+        behavior" in one number.  NaN when the mean is zero (or the
+        trace was empty): dispersion relative to nothing is undefined.
+        """
+        return self.std / self.mean if self.mean else float("nan")
 
     @property
     def dynamic_range(self) -> float:
-        return self.maximum / self.minimum if self.minimum > 0 else float("inf")
+        """``maximum / minimum``; NaN when the minimum is not strictly
+        positive — an AVF phase ratio against a zero (or negative)
+        floor carries no information."""
+        return self.maximum / self.minimum if self.minimum > 0 else float("nan")
 
 
-def trace_stats(trace: Sequence[float]) -> IntervalTraceStats:
-    """Dispersion summary of an interval trace."""
+def trace_stats(trace: Sequence[float], ddof: int = 0) -> IntervalTraceStats:
+    """Dispersion summary of an interval trace.
+
+    ``ddof`` is numpy's delta-degrees-of-freedom for the standard
+    deviation.  The default 0 is the population std: an interval trace
+    is the complete record of the run, not a sample from a larger one.
+    Pass ``ddof=1`` (Bessel's correction) when treating a trace as a
+    sample of a workload's long-run behaviour — e.g. comparing short
+    scaled runs against the paper's 400M-instruction windows.
+
+    An empty trace yields ``n == 0`` and NaN for every statistic.
+    """
     vals = np.asarray(list(trace), dtype=float)
     if vals.size == 0:
-        return IntervalTraceStats(0, 0.0, 0.0, 0.0, 0.0)
+        nan = float("nan")
+        return IntervalTraceStats(0, nan, nan, nan, nan)
+    if not 0 <= ddof < vals.size:
+        raise ValueError("ddof must be in [0, len(trace))")
     return IntervalTraceStats(
         n=int(vals.size),
         mean=float(vals.mean()),
-        std=float(vals.std()),
+        std=float(vals.std(ddof=ddof)),
         minimum=float(vals.min()),
         maximum=float(vals.max()),
     )

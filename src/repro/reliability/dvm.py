@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import ReliabilityConfig
+from repro.telemetry.bus import EventBus
+from repro.telemetry.topics import TOPIC_DVM_RATIO, TOPIC_DVM_SAMPLE, TOPIC_DVM_TRIGGER
 
 
 @dataclass
@@ -50,6 +52,21 @@ class DVMStats:
         if not self.ratio_history:
             return 0.0
         return sum(self.ratio_history) / len(self.ratio_history)
+
+    def clear(self) -> None:
+        """Zero every field in place.
+
+        ``DVMController.reset()`` clears the *same* object rather than
+        rebinding ``self.stats`` so observers holding a reference (the
+        harness, tests) keep seeing the live statistics instead of a
+        stale pre-reset snapshot drifting away from the controller.
+        """
+        self.samples = 0
+        self.triggered_samples = 0
+        self.l2_triggers = 0
+        self.throttled_dispatch_checks = 0
+        self.restore_grants = 0
+        self.ratio_history.clear()
 
 
 class DVMController:
@@ -74,6 +91,10 @@ class DVMController:
         self.restore_thread: int | None = None
         self.stats = DVMStats()
         self.last_estimate = 0.0
+        #: Telemetry spine; the pipeline replaces this with its shared
+        #: bus so decisions carry cycle/stage stamps.  A private bus
+        #: with no subscribers makes every emit a no-op.
+        self.bus = EventBus()
 
     @property
     def is_static(self) -> bool:
@@ -91,6 +112,8 @@ class DVMController:
         self.stats.samples += 1
         self.last_estimate = est_avf
         cfg = self.config
+        was_triggered = self.triggered
+        old_ratio = self.wq_ratio
         if est_avf > self.trigger_threshold:
             self.triggered = True
             self.stats.triggered_samples += 1
@@ -105,11 +128,33 @@ class DVMController:
                     cfg.wq_ratio_max, self.wq_ratio + cfg.wq_ratio_increase_step
                 )
         self.stats.ratio_history.append(self.wq_ratio)
+        bus = self.bus
+        if bus.wants(TOPIC_DVM_SAMPLE):
+            bus.emit(
+                TOPIC_DVM_SAMPLE,
+                estimate=est_avf,
+                triggered=self.triggered,
+                wq_ratio=self.wq_ratio,
+            )
+        if self.triggered and not was_triggered and bus.wants(TOPIC_DVM_TRIGGER):
+            bus.emit(TOPIC_DVM_TRIGGER, reason="sample", estimate=est_avf)
+        if self.wq_ratio != old_ratio and bus.wants(TOPIC_DVM_RATIO):
+            bus.emit(
+                TOPIC_DVM_RATIO,
+                old_ratio=old_ratio,
+                new_ratio=self.wq_ratio,
+                direction="decrease" if self.wq_ratio < old_ratio else "increase",
+            )
 
     def on_l2_miss(self) -> None:
         """An L2 miss enables the response mechanism immediately."""
+        was_triggered = self.triggered
         self.triggered = True
         self.stats.l2_triggers += 1
+        if not was_triggered and self.bus.wants(TOPIC_DVM_TRIGGER):
+            self.bus.emit(
+                TOPIC_DVM_TRIGGER, reason="l2_miss", estimate=self.last_estimate
+            )
 
     # ------------------------------------------------------------------
     # Response mechanism
@@ -144,6 +189,12 @@ class DVMController:
         return self.last_estimate < self.trigger_threshold
 
     def reset(self) -> None:
+        """Return to the power-on state: the adapted ratio, the armed
+        response mechanism, the restore-thread pick and the ratio gate
+        are all cleared, so the next sample re-arms the trigger from
+        scratch.  Statistics are cleared *in place* (see
+        :meth:`DVMStats.clear`) so references held by observers stay
+        live instead of drifting against the controller."""
         self.wq_ratio = (
             self.static_ratio if self.static_ratio is not None
             else self.config.wq_ratio_initial
@@ -152,4 +203,4 @@ class DVMController:
         self._dispatch_ok = True
         self.restore_thread = None
         self.last_estimate = 0.0
-        self.stats = DVMStats()
+        self.stats.clear()

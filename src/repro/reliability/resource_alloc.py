@@ -23,6 +23,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.telemetry.bus import EventBus
+from repro.telemetry.topics import TOPIC_FLUSH_SWITCH, TOPIC_IQL_CAP
+
 
 @dataclass(frozen=True)
 class IntervalSnapshot:
@@ -48,6 +51,8 @@ class DispatchPolicy:
         if iq_size <= 0:
             raise ValueError("iq_size must be positive")
         self.iq_size = iq_size
+        #: Telemetry spine; the pipeline swaps in its shared bus.
+        self.bus = EventBus()
 
     @property
     def iq_limit(self) -> int:
@@ -143,8 +148,17 @@ class DynamicIQAllocation(DispatchPolicy):
         return max(self.min_limit, min(iql, self.iq_size))
 
     def on_interval(self, snap: IntervalSnapshot) -> None:
+        old = self._iql
         self._iql = self.limit_for(snap.ipc, snap.avg_ready_queue_len)
         self.limit_history.append(self._iql)
+        if self._iql != old and self.bus.wants(TOPIC_IQL_CAP):
+            self.bus.emit(
+                TOPIC_IQL_CAP,
+                old_limit=old,
+                new_limit=self._iql,
+                ipc=snap.ipc,
+                avg_ready_queue_len=snap.avg_ready_queue_len,
+            )
 
     def reset(self) -> None:
         self._iql = self.iq_size
@@ -177,6 +191,7 @@ class L2MissSensitiveAllocation(DynamicIQAllocation):
         return self._flush_mode
 
     def on_interval(self, snap: IntervalSnapshot) -> None:
+        was_flush = self._flush_mode
         if snap.l2_misses > self.t_cache_miss:
             # Figure 4: when L2 misses are frequent, capping starves the
             # post-miss ramp-up, so the cap is lifted and FLUSH manages
@@ -188,6 +203,13 @@ class L2MissSensitiveAllocation(DynamicIQAllocation):
         else:
             self._flush_mode = False
             super().on_interval(snap)
+        if self._flush_mode != was_flush and self.bus.wants(TOPIC_FLUSH_SWITCH):
+            self.bus.emit(
+                TOPIC_FLUSH_SWITCH,
+                enabled=self._flush_mode,
+                l2_misses=snap.l2_misses,
+                threshold=self.t_cache_miss,
+            )
 
     def reset(self) -> None:
         super().reset()

@@ -1,0 +1,228 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+The registry is the cold-side counterpart of the event bus: components
+keep plain attributes on their hot paths (a Python method call per
+commit would be measurable), and everything observable is *published*
+into one :class:`MetricsRegistry` under dotted hierarchical names
+(``pipeline.commit.total``, ``mem.l2.miss_rate``, ``dvm.samples``),
+replacing the previous practice of fishing ad-hoc stat attributes off
+individual pipeline components.
+
+``snapshot()`` flattens the registry to a JSON-serializable dict;
+``diff(before, after)`` subtracts two snapshots, which is how
+interval-to-interval and run-to-run deltas are computed without any
+component keeping its own "previous value" state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping, Union
+
+SnapshotValue = Union[int, float, dict[str, float]]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        self.value += amount
+
+    def get(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def get(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; an implicit +inf bucket
+    catches the overflow.  The default buckets suit fractions in
+    [0, 1] (AVF estimates, miss rates, shares).
+    """
+
+    kind = "histogram"
+
+    DEFAULT_BUCKETS: tuple[float, ...] = (
+        0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+    )
+
+    def __init__(self, buckets: tuple[float, ...] | None = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else self.DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be a sorted non-empty tuple")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.minimum = min(self.minimum, v)
+        self.maximum = max(self.maximum, v)
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def get(self) -> dict[str, float]:
+        out: dict[str, float] = {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.minimum if self.count else float("nan"),
+            "max": self.maximum if self.count else float("nan"),
+            "mean": self.mean,
+        }
+        for bound, n in zip(self.bounds, self.counts):
+            out[f"le_{bound:g}"] = float(n)
+        out["le_inf"] = float(self.counts[-1])
+        return out
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Dotted-name registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, metric: Metric) -> Metric:
+        if not name or name.startswith(".") or name.endswith("."):
+            raise ValueError(f"invalid metric name {name!r}")
+        existing = self._metrics.get(name)
+        if existing is None:
+            self._metrics[name] = metric
+            return metric
+        if type(existing) is not type(metric):
+            raise TypeError(
+                f"metric {name!r} already registered as {existing.kind}, "
+                f"not {metric.kind}"
+            )
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get_or_create(name, Counter())
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get_or_create(name, Gauge())
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        metric = self._get_or_create(name, Histogram(buckets))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    # ------------------------------------------------------------------
+    def child(self, prefix: str) -> "ScopedRegistry":
+        """A view that prepends ``prefix.`` to every metric name."""
+        return ScopedRegistry(self, prefix)
+
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def __iter__(self) -> Iterator[tuple[str, Metric]]:
+        return iter(sorted(self._metrics.items()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    def snapshot(self, prefix: str = "") -> dict[str, SnapshotValue]:
+        """Flatten to ``{dotted_name: value}`` (histograms to dicts)."""
+        return {
+            name: metric.get()
+            for name, metric in sorted(self._metrics.items())
+            if name.startswith(prefix)
+        }
+
+    @staticmethod
+    def diff(
+        before: Mapping[str, SnapshotValue], after: Mapping[str, SnapshotValue]
+    ) -> dict[str, SnapshotValue]:
+        """Numeric delta of two snapshots (``after - before``).
+
+        Names present only in ``after`` diff against zero; histogram
+        summaries subtract field-wise (min/max are carried from
+        ``after`` since they do not difference meaningfully).
+        """
+        out: dict[str, SnapshotValue] = {}
+        for name, new in after.items():
+            old = before.get(name)
+            if isinstance(new, dict):
+                old_d = old if isinstance(old, dict) else {}
+                delta = {
+                    k: v - old_d.get(k, 0.0)
+                    for k, v in new.items()
+                    if k not in ("min", "max", "mean")
+                }
+                delta["min"] = new.get("min", float("nan"))
+                delta["max"] = new.get("max", float("nan"))
+                out[name] = delta
+            else:
+                base = old if isinstance(old, (int, float)) else 0
+                out[name] = new - base
+        return out
+
+
+class ScopedRegistry:
+    """Prefix-scoped facade over a :class:`MetricsRegistry`."""
+
+    def __init__(self, parent: MetricsRegistry, prefix: str):
+        if not prefix or prefix.startswith(".") or prefix.endswith("."):
+            raise ValueError(f"invalid registry prefix {prefix!r}")
+        self._parent = parent
+        self.prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self._parent.counter(self._name(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._parent.gauge(self._name(name))
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        return self._parent.histogram(self._name(name), buckets)
+
+    def child(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._parent, self._name(prefix))
+
+    def snapshot(self) -> dict[str, SnapshotValue]:
+        return self._parent.snapshot(self.prefix + ".")

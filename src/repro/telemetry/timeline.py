@@ -1,0 +1,296 @@
+"""Decision/interval timeline recording and rendering.
+
+``TimelineRecorder`` subscribes to the controller-decision topics plus
+``interval.close`` and keeps an ordered list of
+:class:`RecordedEvent`; the helpers below render the merged timeline
+as text (optionally with an AVF strip chart from
+:mod:`repro.harness.charts`) or JSON, and round-trip recordings
+through JSONL files whose first line is the run's provenance manifest.
+
+This is what ``repro timeline`` drives, and what makes DVM's slow-up /
+rapid-down adaptation, the 10K-cycle IQL caps and the
+``Tcache_miss``-triggered FLUSH switches inspectable instead of
+vanishing into end-of-run averages.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.telemetry.bus import Event, EventBus, Subscription
+from repro.telemetry.provenance import RunManifest
+from repro.telemetry.topics import (
+    DECISION_TOPICS,
+    TOPIC_INTERVAL_CLOSE,
+    Topic,
+    get_topic,
+)
+
+
+@dataclass(frozen=True)
+class RecordedEvent:
+    """One bus event flattened for storage/rendering."""
+
+    cycle: int
+    stage: str
+    topic: str
+    payload: dict[str, Any]
+
+
+class TimelineRecorder:
+    """Collects decision + interval events from a bus.
+
+    Use as a context manager around ``pipeline.run()``::
+
+        recorder = TimelineRecorder(pipe.bus)
+        with recorder:
+            pipe.run()
+        print(render_timeline(recorder.events))
+    """
+
+    def __init__(
+        self,
+        bus: EventBus,
+        topics: Sequence[Topic] | None = None,
+        limit: int = 200_000,
+    ):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.bus = bus
+        self.topics: tuple[Topic, ...] = tuple(
+            topics if topics is not None else (TOPIC_INTERVAL_CLOSE, *DECISION_TOPICS)
+        )
+        self.limit = limit
+        self.events: list[RecordedEvent] = []
+        self.dropped = 0
+        self._sub: Subscription | None = None
+
+    # ------------------------------------------------------------------
+    def _on_event(self, event: Event) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(
+            RecordedEvent(event.cycle, event.stage, event.topic, dict(event.payload))
+        )
+
+    def attach(self) -> "TimelineRecorder":
+        if self._sub is None:
+            self._sub = self.bus.subscribe(self.topics, self._on_event)
+        return self
+
+    def detach(self) -> None:
+        if self._sub is not None:
+            self._sub.close()
+            self._sub = None
+
+    def __enter__(self) -> "TimelineRecorder":
+        return self.attach()
+
+    def __exit__(self, *exc: object) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def decision_kinds(self) -> dict[str, int]:
+        """Counts per decision topic (interval samples excluded)."""
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            if ev.topic != TOPIC_INTERVAL_CLOSE.name:
+                counts[ev.topic] = counts.get(ev.topic, 0) + 1
+        return counts
+
+    def to_jsonl(self, path: str, manifest: RunManifest | None = None) -> int:
+        """Write ``{manifest}\\n{event}...`` JSONL; returns event count."""
+        with open(path, "w") as fh:
+            if manifest is not None:
+                fh.write(json.dumps({"_manifest": manifest.to_dict()}) + "\n")
+            for ev in self.events:
+                fh.write(json.dumps(asdict(ev)) + "\n")
+        return len(self.events)
+
+
+def read_jsonl(path: str) -> tuple[RunManifest | None, list[RecordedEvent]]:
+    """Load a recording; returns (manifest-or-None, events)."""
+    manifest: RunManifest | None = None
+    events: list[RecordedEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            if "_manifest" in obj:
+                manifest = RunManifest.from_dict(obj["_manifest"])
+                continue
+            events.append(
+                RecordedEvent(
+                    cycle=int(obj["cycle"]),
+                    stage=str(obj.get("stage", "")),
+                    topic=str(obj["topic"]),
+                    payload=dict(obj.get("payload", {})),
+                )
+            )
+    return manifest, events
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt_payload(topic: str, p: Mapping[str, Any]) -> str:
+    if topic == "interval.close":
+        return (
+            f"ipc={p['ipc']:.2f}  rql={p['avg_ready_queue_len']:.1f}  "
+            f"wql={p['avg_waiting_queue_len']:.1f}  l2={p['l2_misses']}  "
+            f"online_avf={p['online_avf_estimate']:.3f}  iql={p['iq_limit']}"
+        )
+    if topic == "dvm.ratio":
+        return f"wq_ratio {p['old_ratio']:.2f} -> {p['new_ratio']:.2f} ({p['direction']})"
+    if topic == "dvm.trigger":
+        return f"armed ({p['reason']}, est={p['estimate']:.3f})"
+    if topic == "dvm.restore":
+        return f"restore dispatch for t{p['thread']} (fetch-queue ACE={p['ace_count']})"
+    if topic == "iql.cap":
+        return (
+            f"IQL {p['old_limit']} -> {p['new_limit']} "
+            f"(ipc={p['ipc']:.2f}, rql={p['avg_ready_queue_len']:.1f})"
+        )
+    if topic == "flush.switch":
+        state = "enter" if p["enabled"] else "leave"
+        return f"{state} FLUSH mode (l2_misses={p['l2_misses']} vs T={p['threshold']})"
+    if topic == "fetch.flush":
+        return f"flush t{p['thread']} after tag {p['after_tag']}"
+    return "  ".join(f"{k}={v}" for k, v in sorted(p.items()))
+
+
+def _coalesce(events: Iterable[RecordedEvent]) -> list[dict[str, Any]]:
+    """Merge consecutive ``dvm.throttle`` events into one gating run.
+
+    Throttling fires per thread per cycle while armed, so a single L2
+    episode produces thousands of events; a run of them (any mix of
+    threads, uninterrupted by other topics) collapses to one row that
+    keeps the cycle span and the per-thread gate counts.
+    """
+    rows: list[dict[str, Any]] = []
+    for ev in events:
+        if ev.topic == "dvm.throttle" and rows and rows[-1]["topic"] == "dvm.throttle":
+            run = rows[-1]
+            run["last_cycle"] = ev.cycle
+            run["count"] += 1
+            threads: dict[str, int] = run["payload"].setdefault("threads", {})
+            key = str(ev.payload.get("thread"))
+            threads[key] = threads.get(key, 0) + 1
+            continue
+        payload = dict(ev.payload)
+        if ev.topic == "dvm.throttle":
+            payload["threads"] = {str(payload.get("thread")): 1}
+        rows.append(
+            {
+                "cycle": ev.cycle,
+                "last_cycle": ev.cycle,
+                "topic": ev.topic,
+                "stage": ev.stage,
+                "payload": payload,
+                "count": 1,
+            }
+        )
+    return rows
+
+
+def _label(row: Mapping[str, Any]) -> str:
+    topic = row["topic"]
+    if topic == "interval.close":
+        return f"interval[{row['payload']['index']}]"
+    return str(topic)
+
+
+def timeline_rows(events: Sequence[RecordedEvent]) -> list[dict[str, Any]]:
+    """Coalesced, render-ready rows (also the JSON payload)."""
+    rows = _coalesce(events)
+    for row in rows:
+        if row["topic"] == "dvm.throttle":
+            threads = row["payload"].get("threads", {})
+            who = ",".join(f"t{t}" for t in sorted(threads))
+            if row["count"] > 1:
+                row["detail"] = (
+                    f"dispatch gated for {who} x{row['count']} "
+                    f"(cycles {row['cycle']}-{row['last_cycle']})"
+                )
+            else:
+                row["detail"] = f"dispatch gated for {who} (L2 miss outstanding)"
+        else:
+            row["detail"] = _fmt_payload(row["topic"], row["payload"])
+        row["label"] = _label(row)
+    return rows
+
+
+def render_timeline(
+    events: Sequence[RecordedEvent],
+    *,
+    title: str = "decision timeline",
+    chart: bool = False,
+    max_rows: int | None = None,
+) -> str:
+    """Merged interval/decision timeline as aligned text."""
+    rows = timeline_rows(events)
+    shown = rows if max_rows is None else rows[:max_rows]
+    lines = [title]
+    n_decisions = sum(1 for r in rows if r["topic"] != "interval.close")
+    n_intervals = sum(1 for r in rows if r["topic"] == "interval.close")
+    lines.append(
+        f"{len(events)} events -> {len(rows)} rows "
+        f"({n_intervals} intervals, {n_decisions} decisions)"
+    )
+    if not rows:
+        lines.append("(no events recorded)")
+        return "\n".join(lines) + "\n"
+    width = max(len(r["label"]) for r in shown)
+    for row in shown:
+        lines.append(f"{row['cycle']:>8}  {row['label']:<{width}}  {row['detail']}")
+    if max_rows is not None and len(rows) > max_rows:
+        lines.append(f"... ({len(rows) - max_rows} more rows)")
+    if chart:
+        avf = [
+            r["payload"]["online_avf_estimate"]
+            for r in rows
+            if r["topic"] == "interval.close"
+        ]
+        if avf:
+            from repro.harness.charts import sparkline
+
+            lines.append(f"online AVF per interval: {sparkline(avf)}")
+    return "\n".join(lines) + "\n"
+
+
+def timeline_json(
+    events: Sequence[RecordedEvent],
+    manifest: RunManifest | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """JSON document form of the merged timeline."""
+    counts: dict[str, int] = {}
+    for ev in events:
+        counts[ev.topic] = counts.get(ev.topic, 0) + 1
+    return {
+        "manifest": manifest.to_dict() if manifest is not None else None,
+        "topic_counts": dict(sorted(counts.items())),
+        "rows": timeline_rows(events),
+        **dict(extra or {}),
+    }
+
+
+def decision_topic_names() -> list[str]:
+    """Dotted names of the registered decision topics."""
+    return sorted(t.name for t in DECISION_TOPICS)
+
+
+__all__ = [
+    "RecordedEvent",
+    "TimelineRecorder",
+    "read_jsonl",
+    "render_timeline",
+    "timeline_json",
+    "timeline_rows",
+    "decision_topic_names",
+    "get_topic",
+]

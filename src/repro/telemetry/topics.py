@@ -1,0 +1,179 @@
+"""Typed event-topic catalog.
+
+Every event the simulator emits flows through a :class:`Topic`
+registered in this module: the topic's ``fields`` set is the event's
+schema.  ``EventBus.emit`` validates the keyword set against the schema
+whenever an event is actually delivered, and the ``event-schema`` lint
+rule (``repro.analysis.checkers.event_schema``) verifies every
+``bus.emit(...)`` call site statically, so the catalog below is the
+single source of truth for what observers may rely on.
+
+Two fields are stamped automatically by the bus and therefore never
+appear in ``fields``:
+
+* ``cycle`` — the simulator cycle the event was emitted in;
+* ``stage`` — the pipeline stage active at emission time
+  (``commit``/``writeback``/``issue``/``dispatch``/``fetch``/``tick``,
+  or ``""`` outside the cycle loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One event type: a dotted name plus its declared payload fields."""
+
+    name: str
+    fields: frozenset[str]
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("topic name must be non-empty")
+
+
+def _topic(name: str, fields: tuple[str, ...], description: str) -> Topic:
+    return Topic(name=name, fields=frozenset(fields), description=description)
+
+
+#: Pipeline stage order within one simulated cycle (reverse-pipeline).
+STAGE_ORDER: tuple[str, ...] = (
+    "commit",
+    "writeback",
+    "issue",
+    "dispatch",
+    "fetch",
+    "tick",
+)
+
+# ----------------------------------------------------------------------
+# Interval bookkeeping
+# ----------------------------------------------------------------------
+TOPIC_INTERVAL_CLOSE = _topic(
+    "interval.close",
+    (
+        "index",
+        "end_cycle",
+        "committed",
+        "ipc",
+        "avg_ready_queue_len",
+        "avg_waiting_queue_len",
+        "l2_misses",
+        "online_avf_estimate",
+        "online_rob_estimate",
+        "iq_limit",
+    ),
+    "one adaptation interval closed (per-interval sample record)",
+)
+
+# ----------------------------------------------------------------------
+# Dynamic IQ resource allocation (Optimizations 1 and 2)
+# ----------------------------------------------------------------------
+TOPIC_IQL_CAP = _topic(
+    "iql.cap",
+    ("old_limit", "new_limit", "ipc", "avg_ready_queue_len"),
+    "the dispatch-side IQ allocation cap changed at an interval boundary",
+)
+
+TOPIC_FLUSH_SWITCH = _topic(
+    "flush.switch",
+    ("enabled", "l2_misses", "threshold"),
+    "Optimization 2 toggled the Tcache_miss-triggered FLUSH fetch policy",
+)
+
+# ----------------------------------------------------------------------
+# Dynamic Vulnerability Management (Section 5)
+# ----------------------------------------------------------------------
+TOPIC_DVM_SAMPLE = _topic(
+    "dvm.sample",
+    ("estimate", "triggered", "wq_ratio"),
+    "fine-grained online-AVF sample reached the DVM controller",
+)
+
+TOPIC_DVM_TRIGGER = _topic(
+    "dvm.trigger",
+    ("reason", "estimate"),
+    "the DVM response mechanism armed (reason: 'sample' or 'l2_miss')",
+)
+
+TOPIC_DVM_RATIO = _topic(
+    "dvm.ratio",
+    ("old_ratio", "new_ratio", "direction"),
+    "slow-up/rapid-down adaptation changed wq_ratio",
+)
+
+TOPIC_DVM_THROTTLE = _topic(
+    "dvm.throttle",
+    ("thread", "outstanding_l2"),
+    "dispatch of a thread was gated because it has outstanding L2 misses "
+    "while the response mechanism is armed",
+)
+
+TOPIC_DVM_RESTORE = _topic(
+    "dvm.restore",
+    ("thread", "ace_count"),
+    "all threads L2-stalled below the trigger threshold: dispatch restored "
+    "for the thread with the fewest predicted-ACE fetch-queue instructions",
+)
+
+# ----------------------------------------------------------------------
+# Front end
+# ----------------------------------------------------------------------
+TOPIC_FETCH_FLUSH = _topic(
+    "fetch.flush",
+    ("thread", "after_tag"),
+    "the FLUSH fetch policy requested a post-miss flush of one thread",
+)
+
+# ----------------------------------------------------------------------
+# Instruction-granularity topics (hot; guarded by cached wants() flags)
+# ----------------------------------------------------------------------
+TOPIC_COMMIT = _topic(
+    "pipeline.commit",
+    ("inst",),
+    "one dynamic instruction committed (payload carries the DynInst)",
+)
+
+TOPIC_SQUASH = _topic(
+    "pipeline.squash",
+    ("thread", "after_tag", "insts"),
+    "one squash swept a thread's instructions younger than after_tag",
+)
+
+
+def _catalog() -> dict[str, Topic]:
+    found: dict[str, Topic] = {}
+    for value in globals().values():
+        if isinstance(value, Topic):
+            if value.name in found:
+                raise ValueError(f"duplicate topic name {value.name!r}")
+            found[value.name] = value
+    return found
+
+
+#: name -> Topic for every registered topic.
+TOPICS: dict[str, Topic] = _catalog()
+
+#: Controller-decision topics (what the timeline calls "decisions").
+DECISION_TOPICS: tuple[Topic, ...] = (
+    TOPIC_IQL_CAP,
+    TOPIC_FLUSH_SWITCH,
+    TOPIC_DVM_TRIGGER,
+    TOPIC_DVM_RATIO,
+    TOPIC_DVM_THROTTLE,
+    TOPIC_DVM_RESTORE,
+    TOPIC_FETCH_FLUSH,
+)
+
+
+def get_topic(name: str) -> Topic:
+    """Look up a registered topic by dotted name."""
+    try:
+        return TOPICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topic {name!r}; registered: {sorted(TOPICS)}"
+        ) from None

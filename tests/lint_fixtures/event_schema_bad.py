@@ -1,0 +1,37 @@
+"""Fixture: every way the `event-schema` rule can fire."""
+
+from repro.telemetry.bus import EventBus
+from repro.telemetry.topics import TOPIC_DVM_SAMPLE, TOPIC_DVM_TRIGGER
+
+TOPIC_MADE_UP = TOPIC_DVM_TRIGGER  # not a registered catalog constant
+
+
+def string_literal_topic(bus: EventBus) -> None:
+    bus.emit("dvm.sample", estimate=0.5, triggered=True, wq_ratio=1.0)
+
+
+def unknown_topic_constant(bus: EventBus) -> None:
+    bus.emit(TOPIC_MADE_UP, reason="sample", estimate=0.5)
+
+
+def positional_payload(bus: EventBus) -> None:
+    bus.emit(TOPIC_DVM_TRIGGER, "sample", estimate=0.5)
+
+
+def kwargs_splat(bus: EventBus, payload: dict) -> None:
+    bus.emit(TOPIC_DVM_TRIGGER, **payload)
+
+
+def missing_field(bus: EventBus) -> None:
+    bus.emit(TOPIC_DVM_SAMPLE, estimate=0.5, triggered=True)
+
+
+def extra_field(bus: EventBus) -> None:
+    bus.emit(TOPIC_DVM_TRIGGER, reason="sample", estimate=0.5, bogus=1)
+
+
+def allowed_patterns(bus: EventBus, queue) -> None:
+    # None of these may fire: exact schema match, and emit() of an
+    # object that is not a TOPIC_* catalog constant (foreign API).
+    bus.emit(TOPIC_DVM_SAMPLE, estimate=0.5, triggered=True, wq_ratio=1.0)
+    queue.emit("job-done", 42)

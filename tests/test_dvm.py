@@ -141,3 +141,49 @@ class TestReset:
         d = make_dvm(target=0.2, static=2.5)
         d.reset()
         assert d.wq_ratio == 2.5
+
+    def test_reset_clears_stats_in_place(self):
+        # Observers hold a reference to controller.stats; reset() must
+        # clear that same object, not rebind a fresh one, or the held
+        # reference silently drifts away from the live statistics.
+        d = make_dvm(target=0.2)
+        held = d.stats
+        d.on_sample(0.9)
+        d.on_l2_miss()
+        d.recompute_ratio_gate(waiting=100, ready=1)
+        d.allow_dispatch(0)
+        assert held.samples == 1 and held.l2_triggers == 1
+        d.reset()
+        assert d.stats is held
+        assert held.samples == 0
+        assert held.l2_triggers == 0
+        assert held.throttled_dispatch_checks == 0
+        assert held.restore_grants == 0
+        assert held.ratio_history == []
+        d.on_sample(0.9)
+        assert held.samples == 1  # still live after reset
+
+    def test_mean_ratio_reflects_post_reset_history_only(self):
+        d = make_dvm(target=0.2)
+        for _ in range(5):
+            d.on_sample(0.9)  # rapid decreases drag the mean down
+        drifted = d.stats.mean_ratio
+        assert drifted < d.config.wq_ratio_initial
+        d.reset()
+        assert d.stats.mean_ratio == 0.0  # empty history, not stale mean
+        d.on_sample(0.0)  # one calm sample: slow increase from initial
+        expected = min(
+            d.config.wq_ratio_max,
+            d.config.wq_ratio_initial + d.config.wq_ratio_increase_step,
+        )
+        assert d.stats.mean_ratio == pytest.approx(expected)
+
+    def test_reset_clears_ratio_gate_and_estimate(self):
+        d = make_dvm(target=0.2)
+        d.on_sample(0.9)
+        d.recompute_ratio_gate(waiting=1000, ready=1)
+        assert not d.allow_dispatch(0)
+        d.reset()
+        assert d.last_estimate == 0.0
+        d.on_sample(0.9)  # re-armed, but the gate starts permissive
+        assert d.allow_dispatch(0)

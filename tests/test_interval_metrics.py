@@ -1,5 +1,7 @@
 """Interval-trace analysis metrics."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -24,13 +26,28 @@ class TestTraceStats:
         assert trace_stats([1.0, 1.0]).cv == 0.0
         assert trace_stats([0.5, 1.5]).cv > 0
 
+    def test_cv_zero_mean_is_nan(self):
+        assert math.isnan(trace_stats([0.0, 0.0]).cv)
+
     def test_dynamic_range(self):
         assert trace_stats([0.1, 0.4]).dynamic_range == pytest.approx(4.0)
-        assert trace_stats([0.0, 1.0]).dynamic_range == float("inf")
 
-    def test_empty(self):
+    def test_dynamic_range_zero_floor_is_nan(self):
+        assert math.isnan(trace_stats([0.0, 1.0]).dynamic_range)
+
+    def test_empty_is_nan(self):
         s = trace_stats([])
-        assert s.n == 0 and s.cv == 0.0
+        assert s.n == 0
+        for value in (s.mean, s.std, s.minimum, s.maximum, s.cv, s.dynamic_range):
+            assert math.isnan(value)
+
+    def test_ddof(self):
+        pop = trace_stats([0.0, 1.0])
+        sample = trace_stats([0.0, 1.0], ddof=1)
+        assert pop.std == pytest.approx(0.5)
+        assert sample.std == pytest.approx(math.sqrt(0.5))
+        with pytest.raises(ValueError):
+            trace_stats([1.0], ddof=1)
 
 
 class TestAutocorrelation:

@@ -24,6 +24,7 @@ FIXTURE_OF = {
     "slots": os.path.join(FIXTURES, "slots_bad.py"),
     "stage-purity": os.path.join(FIXTURES, "stage_purity", "pipeline.py"),
     "config-bounds": os.path.join(FIXTURES, "config_bounds", "config.py"),
+    "event-schema": os.path.join(FIXTURES, "event_schema_bad.py"),
 }
 
 
@@ -74,6 +75,18 @@ class TestCheckersFireOnFixtures:
     def test_slots_names_the_missing_attribute(self):
         diags = run_rule("slots", FIXTURE_OF["slots"])
         assert {d.symbol for d in diags} == {"HotPathEntry.squash_cycle"}
+
+    def test_event_schema_reports_every_failure_mode(self):
+        messages = [
+            d.message for d in run_rule("event-schema", FIXTURE_OF["event-schema"])
+        ]
+        assert len(messages) == 6
+        assert any("string-literal topic" in m for m in messages)
+        assert any("unknown topic constant TOPIC_MADE_UP" in m for m in messages)
+        assert any("positional payload" in m for m in messages)
+        assert any("**kwargs splat" in m for m in messages)
+        assert any("missing ['wq_ratio']" in m for m in messages)
+        assert any("extra ['bogus']" in m for m in messages)
 
     def test_stage_purity_flags_write_and_mutator_call(self):
         diags = run_rule("stage-purity", FIXTURE_OF["stage-purity"])
