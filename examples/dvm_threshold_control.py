@@ -22,8 +22,9 @@ def main() -> None:
     mix = sys.argv[1] if len(sys.argv) > 1 else "MEM-A"
     frac = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
     scale = BenchScale(
-        max_cycles=24_000, warmup_cycles=4_000, interval_cycles=1_000,
-        t_cache_miss=3,
+        # Deliberately rescaled for a fast demo run (finer DVM intervals).
+        max_cycles=24_000, warmup_cycles=4_000, interval_cycles=1_000,  # lint: disable=paper-fidelity
+        t_cache_miss=3,  # lint: disable=paper-fidelity
     )
 
     base = run_sim(mix, scale)

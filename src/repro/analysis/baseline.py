@@ -1,0 +1,72 @@
+"""Baseline files: gate CI on *new* diagnostics only.
+
+A baseline is a JSON list of diagnostic fingerprints — ``(path, rule,
+symbol, message)``, deliberately excluding line/column so pure code
+motion does not resurrect an accepted finding.  ``--write-baseline``
+records the current findings; ``--baseline`` filters any finding whose
+fingerprint appears in the file (each entry absorbs at most as many
+findings as it has ``count``, so a *second* identical regression still
+fails).  Paths are stored relative to the baseline file's directory
+with forward slashes, so the file is stable across checkouts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+
+
+def _fingerprint(diag: Diagnostic, root: str) -> tuple[str, str, str, str]:
+    path = diag.path
+    try:
+        path = os.path.relpath(os.path.abspath(path), root)
+    except ValueError:
+        pass
+    return (path.replace(os.sep, "/"), diag.rule, diag.symbol, diag.message)
+
+
+def write_baseline(path: str, diags: Sequence[Diagnostic]) -> None:
+    root = os.path.dirname(os.path.abspath(path)) or "."
+    counts = Counter(_fingerprint(d, root) for d in diags)
+    entries = [
+        {"path": p, "rule": r, "symbol": s, "message": m, "count": n}
+        for (p, r, s, m), n in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": BASELINE_VERSION, "entries": entries}, fh, indent=2)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Counter:
+    """Fingerprint -> accepted count.  Raises FileNotFoundError/ValueError."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a v{BASELINE_VERSION} lint baseline")
+    counts: Counter = Counter()
+    for entry in payload.get("entries", []):
+        key = (entry["path"], entry["rule"], entry.get("symbol", ""), entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def filter_new(
+    diags: Sequence[Diagnostic], baseline: Counter, root: str | None = None
+) -> list[Diagnostic]:
+    """The diagnostics not absorbed by the baseline (stable order)."""
+    budget = Counter(baseline)
+    root = root or os.getcwd()
+    fresh: list[Diagnostic] = []
+    for diag in diags:
+        key = _fingerprint(diag, root)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(diag)
+    return fresh

@@ -1,0 +1,247 @@
+"""``hidden-state`` — attributes born outside ``__init__`` must be reset.
+
+Simulator components are reused across runs through their ``reset()``
+method; the replication harness and every ablation sweep rely on
+``reset()`` returning the object to its power-on state.  An attribute
+first assigned in some decision method (directly, or three helpers
+deep) that ``reset()`` never restores is state that silently survives
+into the next run — the cross-run twin of the soft-error corruption the
+paper studies.
+
+For every class that defines both ``__init__``-reachable construction
+and a ``reset()`` method, this pass computes, *across helper methods
+and base classes via the call graph*:
+
+* the attributes bound during construction (``__init__`` plus every
+  method it calls, through the MRO);
+* the attributes ``reset()`` restores (assigned, or mutated in place
+  via ``clear``/``pop``/… , again transitively);
+* the attributes first bound anywhere else.
+
+Anything in the third set but neither of the first two is flagged.  A
+second sweep extends the per-file ``slots`` rule across inheritance:
+when every class on a (project-resolvable) MRO declares ``__slots__``,
+an attribute assigned anywhere in the derived class must appear in the
+union of the slot tuples.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.flow.symbols import ClassInfo, ModuleInfo
+from repro.analysis.registry import ProjectChecker, register
+
+_MUTATORS = frozenset(
+    {"append", "add", "clear", "discard", "extend", "insert", "pop", "popleft",
+     "popitem", "remove", "reverse", "setdefault", "sort", "update", "appendleft"}
+)
+
+
+def _self_attr_stores(func: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, ast.AST]:
+    """Attr name -> first node that *binds* ``self.<attr>`` (plain
+    assignment; subscript stores mutate, they don't bind)."""
+    stores: dict[str, ast.AST] = {}
+    for stmt in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for tgt in targets:
+            flat = [tgt]
+            if isinstance(tgt, (ast.Tuple, ast.List)):
+                flat = list(tgt.elts)
+            for t in flat:
+                if isinstance(t, ast.Starred):
+                    t = t.value
+                if (
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ):
+                    stores.setdefault(t.attr, t)
+    return stores
+
+
+def _self_attr_touches(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Attrs ``func`` restores: bound, subscript-stored, or mutated via a
+    container method (``self.stats.clear()`` counts as touching stats'
+    *value*, and ``self.history.clear()`` as restoring ``history``)."""
+    touched = set(_self_attr_stores(func))
+    for stmt in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for tgt in targets:
+            base = tgt
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                touched.add(base.attr)
+        if (
+            isinstance(stmt, ast.Call)
+            and isinstance(stmt.func, ast.Attribute)
+            and stmt.func.attr in _MUTATORS
+        ):
+            recv = stmt.func.value
+            if (
+                isinstance(recv, ast.Attribute)
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id == "self"
+            ):
+                touched.add(recv.attr)
+    return touched
+
+
+def _slot_names(value: ast.expr) -> set[str] | None:
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return {value.value}
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        names: set[str] = set()
+        for elt in value.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            names.add(elt.value)
+        return names
+    return None
+
+
+def _declared_slots(cls: ClassInfo) -> set[str] | None:
+    """The class's statically-known ``__slots__``, or None."""
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name) and tgt.id == "__slots__":
+                    return _slot_names(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return _slot_names(stmt.value)
+    return None
+
+
+@register
+class HiddenStateChecker(ProjectChecker):
+    rule = "hidden-state"
+    description = "attributes born outside __init__ must be covered by reset()"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for mod, cls in project.iter_classes():
+            yield from self._check_reset_coverage(project, mod, cls)
+            yield from self._check_mro_slots(project, mod, cls)
+
+    # -- reset coverage -------------------------------------------------
+    def _transitive(
+        self,
+        project: ProjectContext,
+        mod: ModuleInfo,
+        cls: ClassInfo,
+        method_name: str,
+    ) -> tuple[set[str], set[str]]:
+        """(bound attrs, touched attrs) of ``method_name`` plus every
+        self/super method it transitively calls, through the MRO."""
+        graph = project.call_graph
+        start = graph.resolve_method(mod, cls, method_name)
+        bound: set[str] = set()
+        touched: set[str] = set()
+        if start is None:
+            return bound, touched
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            node = graph.functions.get(qual)
+            if node is None:
+                continue
+            bound |= set(_self_attr_stores(node.node))
+            touched |= _self_attr_touches(node.node)
+            for callee in node.calls:
+                callee_node = graph.functions.get(callee)
+                # Follow only method calls (self./super() resolved) —
+                # free functions don't write self.
+                if callee_node is not None and callee_node.cls is not None:
+                    stack.append(callee)
+        return bound, touched
+
+    def _check_reset_coverage(
+        self, project: ProjectContext, mod: ModuleInfo, cls: ClassInfo
+    ) -> Iterator[Diagnostic]:
+        if "reset" not in cls.methods:
+            return  # reset() may be inherited; the base class is checked
+        graph = project.call_graph
+        if graph.resolve_method(mod, cls, "__init__") is None:
+            return
+        init_bound, _ = self._transitive(project, mod, cls, "__init__")
+        _, reset_touched = self._transitive(project, mod, cls, "reset")
+
+        # Attributes bound in any other method of the class or its bases.
+        reported: set[str] = set()
+        for m, c in graph.mro(mod, cls):
+            for mname in sorted(c.methods):
+                if mname in ("__init__", "reset"):
+                    continue
+                for attr, node in sorted(_self_attr_stores(c.methods[mname]).items()):
+                    if attr in init_bound or attr in reset_touched or attr in reported:
+                        continue
+                    if attr.startswith("__") and attr.endswith("__"):
+                        continue
+                    reported.add(attr)
+                    yield Diagnostic(
+                        path=m.path,
+                        line=getattr(node, "lineno", 1),
+                        col=getattr(node, "col_offset", 0),
+                        rule=self.rule,
+                        message=(
+                            f"attribute {attr!r} is first bound in "
+                            f"{c.name}.{mname}, not in __init__, and "
+                            f"{cls.name}.reset() never restores it: the value "
+                            "survives reset() into the next run"
+                        ),
+                        severity=Severity.WARNING,
+                        symbol=f"{cls.name}.{attr}",
+                    )
+
+    # -- cross-module __slots__ completeness ----------------------------
+    def _check_mro_slots(
+        self, project: ProjectContext, mod: ModuleInfo, cls: ClassInfo
+    ) -> Iterator[Diagnostic]:
+        if not cls.bases or cls.bases == ["object"]:
+            return  # the per-file slots rule owns base classes
+        mro = project.call_graph.mro(mod, cls)
+        if len(mro) < 2:
+            return  # bases unresolvable in-project: stay silent
+        union: set[str] = set()
+        for _, c in mro:
+            slots = _declared_slots(c)
+            if slots is None:
+                return  # some ancestor has a __dict__ (or dynamic slots)
+            union |= slots
+        for mname in sorted(cls.methods):
+            for attr, node in sorted(_self_attr_stores(cls.methods[mname]).items()):
+                if attr in union or (attr.startswith("__") and attr.endswith("__")):
+                    continue
+                yield Diagnostic(
+                    path=mod.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    rule=self.rule,
+                    message=(
+                        f"attribute {attr!r} assigned in {cls.name}.{mname} is "
+                        "missing from every __slots__ on the inheritance chain "
+                        "(will raise AttributeError at runtime)"
+                    ),
+                    severity=Severity.ERROR,
+                    symbol=f"{cls.name}.{attr}",
+                )

@@ -1,0 +1,182 @@
+"""``nondet-iteration`` — set-order leaks traced through dataflow.
+
+The per-file ``determinism`` rule flags iterating a *literal* set
+expression; one assignment of indirection defeats it::
+
+    pending = {i.tag for i in window}     # fine so far
+    for tag in pending:                   # order is hash-seed dependent
+        self.ready_order.append(tag)      # ...and now it's in sim state
+
+This pass follows the value through the function's reaching
+definitions: iterating a local whose reaching definition is set-valued
+(literal set, set comprehension, ``set()``/``frozenset()`` call, or a
+``.keys()`` of one) is flagged when the iteration *escapes* — the loop
+body writes an attribute, stores into a container attribute, or the
+iterated values feed a ``.emit(...)`` payload.  Purely local,
+order-insensitive consumption (membership tests, ``sum``/``len``,
+building another set) stays silent; ``sorted(...)`` launders the order
+and stays silent everywhere.
+
+A second, class-scoped sweep catches the attribute variant: iterating
+``self._attr`` directly when some method of the class binds that
+attribute to a set expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.flow.symbols import ClassInfo, ModuleInfo
+from repro.analysis.registry import ProjectChecker, register
+
+
+def _is_set_expr(node: ast.expr | None) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+    # set/frozenset ops that preserve set-ness: a | b, a & b, a - b on
+    # sets are invisible without type inference; out of scope.
+    return False
+
+
+def _escapes(loop: ast.For) -> ast.AST | None:
+    """The first statement in the loop body that leaks iteration order
+    into simulator state or a telemetry payload, if any."""
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for tgt in targets:
+                base = tgt
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Attribute):
+                    return node
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "emit":
+                    return node
+                # container growth on an attribute: self.order.append(x)
+                if node.func.attr in ("append", "extend", "appendleft", "insert"):
+                    recv = node.func.value
+                    if isinstance(recv, ast.Attribute):
+                        return node
+    return None
+
+
+@register
+class NondetIterationChecker(ProjectChecker):
+    rule = "nondet-iteration"
+    description = "set iteration order must not flow into state or emits"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for mod in project.iter_modules():
+            for name in sorted(mod.functions):
+                yield from self._check_function(project, mod, mod.functions[name])
+            for cls_name in sorted(mod.classes):
+                cls = mod.classes[cls_name]
+                set_attrs = self._set_valued_attrs(cls)
+                for mname in sorted(cls.methods):
+                    method = cls.methods[mname]
+                    yield from self._check_function(project, mod, method)
+                    yield from self._check_attr_loops(mod, cls, method, set_attrs)
+
+    # -- local-variable flow -------------------------------------------
+    def _check_function(
+        self,
+        project: ProjectContext,
+        mod: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Diagnostic]:
+        flow = None
+        for node in ast.walk(func):
+            if not isinstance(node, ast.For) or not isinstance(node.iter, ast.Name):
+                continue
+            escape = _escapes(node)
+            if escape is None:
+                continue
+            if flow is None:
+                flow = project.flow(func)
+            defs = flow.reaching_in(node).get(node.iter.id, [])
+            for def_stmt in defs:
+                value = flow.assigned_value(def_stmt, node.iter.id)
+                if _is_set_expr(value):
+                    yield self._diag(
+                        mod,
+                        node.iter,
+                        f"iterates {node.iter.id!r}, which is set-valued "
+                        f"(defined at line {def_stmt.lineno}), and the loop "
+                        f"body leaks the order into state/telemetry at line "
+                        f"{escape.lineno}; iterate sorted({node.iter.id}) instead",
+                        symbol=node.iter.id,
+                    )
+                    break  # one diagnostic per loop is enough
+
+    # -- attribute flow -------------------------------------------------
+    def _set_valued_attrs(self, cls: ClassInfo) -> dict[str, int]:
+        """self attributes some method binds to a set expression."""
+        attrs: dict[str, int] = {}
+        for method in cls.methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not _is_set_expr(node.value):
+                    continue
+                for tgt in node.targets:
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        attrs.setdefault(tgt.attr, node.lineno)
+        return attrs
+
+    def _check_attr_loops(
+        self,
+        mod: ModuleInfo,
+        cls: ClassInfo,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        set_attrs: dict[str, int],
+    ) -> Iterator[Diagnostic]:
+        if not set_attrs:
+            return
+        for node in ast.walk(method):
+            if not isinstance(node, ast.For):
+                continue
+            it = node.iter
+            if (
+                isinstance(it, ast.Attribute)
+                and isinstance(it.value, ast.Name)
+                and it.value.id == "self"
+                and it.attr in set_attrs
+            ):
+                escape = _escapes(node)
+                if escape is not None:
+                    yield self._diag(
+                        mod,
+                        it,
+                        f"iterates set-valued attribute self.{it.attr} (bound "
+                        f"to a set at line {set_attrs[it.attr]}) and leaks the "
+                        f"order into state/telemetry at line {escape.lineno}; "
+                        f"iterate sorted(self.{it.attr}) instead",
+                        symbol=f"{cls.name}.{it.attr}",
+                    )
+
+    def _diag(self, mod: ModuleInfo, node: ast.AST, message: str, symbol: str) -> Diagnostic:
+        return Diagnostic(
+            path=mod.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            severity=Severity.ERROR,
+            symbol=symbol,
+        )

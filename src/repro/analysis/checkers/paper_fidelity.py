@@ -1,0 +1,269 @@
+"""``paper-fidelity`` — catalogued paper constants flow from ``repro.config``.
+
+The paper's results hinge on exact interval constants: the 10K-cycle
+adaptation interval, ``Tcache_miss = 16``, the DVM trigger at 90% of
+the reliability target, the four IPC regions whose IQL caps are
+proportional to IQ size.  All of them are declared once, in
+:class:`repro.config.ReliabilityConfig`.  This pass keeps it that way:
+
+* a numeric literal equal to a catalogued constant, bound to that
+  constant's identifier anywhere outside the config module, is an
+  **error** — the value must flow from ``repro.config``, not be
+  re-hard-coded at the use site (a later change to the config would
+  silently diverge from the copy);
+* a numeric literal bound to a catalogued identifier with a *different*
+  value is a **warning** — either drift from the paper or a deliberate
+  rescaling, which should say so with an inline suppression;
+* a comparison of a catalogued identifier against its exact paper value
+  is an **error** for the same reason (thresholds belong in config).
+
+Binding sites checked: assignments (``t_cache_miss = 16``), annotated
+and dataclass-field defaults, function-parameter defaults, and keyword
+arguments.  Test files (``test_*.py``/``conftest.py``) are exempt —
+pinning explicit values is what tests are for.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.flow.symbols import ModuleInfo
+from repro.analysis.registry import ProjectChecker, register
+
+
+@dataclass(frozen=True)
+class PaperConstant:
+    """One catalogued constant: its paper value, home, and §-reference."""
+
+    key: str
+    value: int | float
+    config_attr: str  # the one true home, in repro.config
+    section: str  # paper §-reference (see PAPER.md)
+    identifiers: frozenset[str]
+
+
+#: The catalog.  Identifier sets are deliberately exact — matching on
+#: generic names like ``window`` would drown the signal in noise.
+PAPER_CONSTANTS: tuple[PaperConstant, ...] = (
+    PaperConstant(
+        key="interval-length",
+        value=10_000,
+        config_attr="ReliabilityConfig.interval_cycles",
+        section="§2.2",
+        identifiers=frozenset({"interval_cycles"}),
+    ),
+    PaperConstant(
+        key="t-cache-miss",
+        value=16,
+        config_attr="ReliabilityConfig.t_cache_miss",
+        section="§2.2(2)",
+        identifiers=frozenset({"t_cache_miss", "tcache_miss"}),
+    ),
+    PaperConstant(
+        key="dvm-trigger-fraction",
+        value=0.9,
+        config_attr="ReliabilityConfig.dvm_trigger_fraction",
+        section="§5.1",
+        identifiers=frozenset({"dvm_trigger_fraction", "trigger_fraction"}),
+    ),
+    PaperConstant(
+        key="ace-window",
+        value=40_000,
+        config_attr="ReliabilityConfig.ace_window",
+        section="§2.1",
+        identifiers=frozenset({"ace_window"}),
+    ),
+    PaperConstant(
+        key="dvm-samples-per-interval",
+        value=5,
+        config_attr="ReliabilityConfig.dvm_samples_per_interval",
+        section="§5.1",
+        identifiers=frozenset({"dvm_samples_per_interval"}),
+    ),
+    PaperConstant(
+        key="dvm-ratio-period",
+        value=50,
+        config_attr="ReliabilityConfig.dvm_ratio_period",
+        section="§5.1",
+        identifiers=frozenset({"dvm_ratio_period"}),
+    ),
+    PaperConstant(
+        key="iql-region-count",
+        value=4,
+        config_attr="ReliabilityConfig.num_ipc_regions",
+        section="§2.2(1), Fig. 3",
+        identifiers=frozenset({"num_ipc_regions"}),
+    ),
+)
+
+_BY_IDENTIFIER: dict[str, PaperConstant] = {
+    ident: const for const in PAPER_CONSTANTS for ident in const.identifiers
+}
+
+
+def _is_config_module(mod: ModuleInfo) -> bool:
+    return mod.basename == "config.py" or mod.name.endswith(".config")
+
+
+def _is_test_module(mod: ModuleInfo) -> bool:
+    return mod.basename.startswith("test_") or mod.basename == "conftest.py"
+
+
+def _literal_number(node: ast.expr | None) -> int | float | None:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    # -0.9 parses as UnaryOp(USub, Constant); normalize.
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+    ):
+        return -node.operand.value
+    return None
+
+
+def _target_identifier(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class PaperFidelityChecker(ProjectChecker):
+    rule = "paper-fidelity"
+    description = "catalogued paper constants must flow from repro.config"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for mod in project.iter_modules():
+            if _is_config_module(mod) or _is_test_module(mod):
+                continue
+            yield from self._check_module(mod)
+
+    # ------------------------------------------------------------------
+    def _check_module(self, mod: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    yield from self._check_binding(mod, tgt, node.value, node)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._check_binding(mod, node.target, node.value, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(mod, node)
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is not None and kw.arg in _BY_IDENTIFIER:
+                        yield from self._check_value(
+                            mod, kw.arg, kw.value, kw.value, binding="keyword argument"
+                        )
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(mod, node)
+
+    def _check_binding(
+        self, mod: ModuleInfo, target: ast.expr, value: ast.expr, anchor: ast.stmt
+    ) -> Iterator[Diagnostic]:
+        ident = _target_identifier(target)
+        if ident is not None and ident in _BY_IDENTIFIER:
+            yield from self._check_value(mod, ident, value, anchor, binding="assignment")
+
+    def _check_defaults(
+        self, mod: ModuleInfo, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        args = func.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+            if arg.arg in _BY_IDENTIFIER:
+                yield from self._check_value(
+                    mod, arg.arg, default, default, binding="parameter default"
+                )
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None and arg.arg in _BY_IDENTIFIER:
+                yield from self._check_value(
+                    mod, arg.arg, kw_default, kw_default, binding="parameter default"
+                )
+
+    def _check_compare(self, mod: ModuleInfo, node: ast.Compare) -> Iterator[Diagnostic]:
+        # <ident> OP <paper value> (or flipped): the threshold is being
+        # re-hard-coded at a decision site.  Non-paper values compared
+        # against catalogued identifiers (bounds checks against 0, ...)
+        # are legitimate and stay silent.
+        operands = [node.left] + list(node.comparators)
+        idents = [(_target_identifier(op)) for op in operands]
+        numbers = [_literal_number(op) for op in operands]
+        for ident in idents:
+            if ident is None or ident not in _BY_IDENTIFIER:
+                continue
+            const = _BY_IDENTIFIER[ident]
+            for num, op_node in zip(numbers, operands):
+                if num is not None and num == const.value:
+                    yield self._diag(
+                        mod,
+                        op_node,
+                        Severity.ERROR,
+                        const,
+                        f"comparison re-hard-codes paper constant {const.key} "
+                        f"({const.value!r}, {const.section}); read it from "
+                        f"repro.config ({const.config_attr})",
+                    )
+
+    def _check_value(
+        self,
+        mod: ModuleInfo,
+        ident: str,
+        value: ast.expr,
+        anchor: ast.AST,
+        binding: str,
+    ) -> Iterator[Diagnostic]:
+        const = _BY_IDENTIFIER[ident]
+        num = _literal_number(value)
+        if num is None:
+            return  # flows from an expression — exactly what we want
+        if num == const.value:
+            yield self._diag(
+                mod,
+                anchor,
+                Severity.ERROR,
+                const,
+                f"{binding} re-hard-codes paper constant {const.key} = "
+                f"{const.value!r} ({const.section}); it must flow from "
+                f"repro.config ({const.config_attr})",
+            )
+        else:
+            yield self._diag(
+                mod,
+                anchor,
+                Severity.WARNING,
+                const,
+                f"{binding} binds {ident!r} to {num!r}, which drifts from the "
+                f"paper's {const.key} = {const.value!r} ({const.section}); "
+                f"derive it from repro.config ({const.config_attr}) or mark "
+                "the deliberate rescaling with an inline suppression",
+            )
+
+    def _diag(
+        self,
+        mod: ModuleInfo,
+        node: ast.AST,
+        severity: Severity,
+        const: PaperConstant,
+        message: str,
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=mod.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            severity=severity,
+            symbol=const.key,
+        )

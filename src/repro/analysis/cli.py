@@ -1,16 +1,22 @@
 """Command-line front end for the static-analysis subsystem.
 
-Invoked as ``python -m repro.lint <paths>``; exits 0 on a clean tree,
-1 when diagnostics were found, 2 on usage errors.
+Invoked as ``python -m repro.lint [<paths>]``; with no paths it lints
+the default roots (``src``, ``tests``, ``benchmarks``, ``examples`` —
+whichever exist under the working directory).  Exits 0 on a clean
+tree, 1 when diagnostics at or above ``--fail-on`` (default
+``warning``) survive the baseline, 2 on usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
-from repro.analysis.engine import LintEngine
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.diagnostics import parse_severity
+from repro.analysis.engine import DEFAULT_ROOTS, LintEngine, default_roots
 from repro.analysis.registry import all_rules, get_checker
 from repro.analysis.reporters import render
 
@@ -18,18 +24,31 @@ EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
 
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Simulator-aware static analysis for the repro codebase.",
     )
-    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the src/tests/"
+        "benchmarks/examples roots that exist here)",
+    )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--rules",
@@ -41,6 +60,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("note", "warning", "error"),
+        default="warning",
+        help="lowest severity that makes the exit code 1 (default: warning)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool workers for the per-file phase (0 = cpu count)",
+    )
+    phase = parser.add_mutually_exclusive_group()
+    phase.add_argument(
+        "--no-project",
+        action="store_true",
+        help="run only the fast per-file rules",
+    )
+    phase.add_argument(
+        "--project-only",
+        action="store_true",
+        help="run only the project-wide dataflow passes",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress diagnostics recorded in this baseline file; only "
+        "new findings affect the exit code",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"incremental-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental per-file cache",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss statistics to stderr",
     )
     return parser
 
@@ -54,25 +126,73 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule}: {get_checker(rule).description}")
         return EXIT_CLEAN
 
-    if not args.paths:
+    paths = args.paths or default_roots()
+    if not paths:
         parser.print_usage(sys.stderr)
-        print("repro.lint: error: no paths given", file=sys.stderr)
+        print(
+            "repro.lint: error: no paths given and no default roots "
+            f"({'/'.join(DEFAULT_ROOTS)}) here",
+            file=sys.stderr,
+        )
         return EXIT_USAGE
 
     rules = None
     if args.rules is not None:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     try:
-        engine = LintEngine(rules)
-        diags = engine.run(args.paths)
+        engine = LintEngine(
+            rules,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+        diags = engine.run(
+            paths,
+            jobs=jobs,
+            file_phase=not args.project_only,
+            project_phase=not args.no_project,
+        )
+        threshold = parse_severity(args.fail_on)
     except (KeyError, FileNotFoundError) as exc:
         # str(KeyError) repr-quotes its message; unwrap the original.
         msg = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         print(f"repro.lint: error: {msg}", file=sys.stderr)
         return EXIT_USAGE
 
-    print(render(diags, args.format))
-    return EXIT_FINDINGS if diags else EXIT_CLEAN
+    if args.write_baseline is not None:
+        baseline_mod.write_baseline(args.write_baseline, diags)
+        print(
+            f"repro.lint: wrote baseline with {len(diags)} finding(s) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return EXIT_CLEAN
+
+    if args.baseline is not None:
+        try:
+            accepted = baseline_mod.load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro.lint: error: bad baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        root = os.path.dirname(os.path.abspath(args.baseline)) or "."
+        diags = baseline_mod.filter_new(diags, accepted, root=root)
+
+    report = render(diags, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    else:
+        print(report)
+
+    if args.stats:
+        stats = engine.cache_stats
+        print(
+            f"repro.lint: cache {stats.hits} hit(s) / {stats.misses} miss(es) "
+            f"({stats.hit_rate:.0%})",
+            file=sys.stderr,
+        )
+
+    failing = [d for d in diags if d.severity >= threshold]
+    return EXIT_FINDINGS if failing else EXIT_CLEAN
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,13 +7,27 @@ from dataclasses import dataclass, field
 
 
 class Severity(enum.IntEnum):
-    """Diagnostic severity; the CLI exit code reflects the worst one."""
+    """Diagnostic severity; the CLI exit code reflects the worst one
+    at or above the ``--fail-on`` threshold (default ``warning``, so
+    notes are informational)."""
 
+    NOTE = 0
     WARNING = 1
     ERROR = 2
 
     def __str__(self) -> str:
         return self.name.lower()
+
+
+def parse_severity(name: str) -> Severity:
+    """``"note"``/``"warning"``/``"error"`` -> :class:`Severity`."""
+    try:
+        return Severity[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown severity {name!r}; expected one of "
+            f"{[str(s) for s in Severity]}"
+        ) from None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,125 @@
+"""File-hash-keyed incremental diagnostic cache.
+
+Whole-project analysis made the linter do strictly more work per run,
+so the per-file layer earns it back: a file whose content hash and rule
+fingerprint both match the previous run replays its recorded
+diagnostics without being parsed or checked.  The cache is one JSON
+document under ``.repro-lint-cache/`` (CI restores the directory keyed
+on the source-tree hash); a version stamp and a fingerprint of the
+active per-file rules invalidate it wholesale when the engine or the
+rule set changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+#: Bump when the cache layout (or any checker semantics) changes.
+CACHE_VERSION = 1
+
+_CACHE_FILE = "file-diagnostics.json"
+
+
+def source_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def rules_fingerprint(rules: list[str]) -> str:
+    return hashlib.sha256(",".join(sorted(rules)).encode()).hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class DiagnosticCache:
+    """Per-file diagnostic memo keyed on (content hash, rule set)."""
+
+    directory: str
+    _entries: dict[str, dict] = field(default_factory=dict)
+    _fingerprint: str = ""
+    _dirty: bool = False
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def open(self, rules: list[str]) -> None:
+        """Load the cache file, discarding it on any mismatch."""
+        self._fingerprint = rules_fingerprint(rules)
+        self._entries = {}
+        path = os.path.join(self.directory, _CACHE_FILE)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if (
+            payload.get("version") != CACHE_VERSION
+            or payload.get("rules_fingerprint") != self._fingerprint
+        ):
+            return
+        entries = payload.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(self, path: str, digest: str) -> list[Diagnostic] | None:
+        """Cached diagnostics for ``path`` at ``digest``, else None."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha256") != digest:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        diags: list[Diagnostic] = []
+        for record in entry.get("diagnostics", []):
+            diags.append(
+                Diagnostic(
+                    path=record["path"],
+                    line=int(record["line"]),
+                    col=int(record["col"]),
+                    rule=record["rule"],
+                    message=record["message"],
+                    severity=Severity[record["severity"].upper()],
+                    symbol=record.get("symbol", ""),
+                )
+            )
+        return diags
+
+    def store(self, path: str, digest: str, diags: list[Diagnostic]) -> None:
+        self._entries[path] = {
+            "sha256": digest,
+            "diagnostics": [d.to_json() for d in diags],
+        }
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Persist to disk (best-effort: a read-only FS never fails a run)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "rules_fingerprint": self._fingerprint,
+            "files": self._entries,
+        }
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = os.path.join(self.directory, _CACHE_FILE + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, os.path.join(self.directory, _CACHE_FILE))
+            self._dirty = False
+        except OSError:
+            pass

@@ -1,0 +1,111 @@
+"""Per-module symbol tables for the project-wide analysis layer.
+
+:func:`build_module_info` digests one parsed module into the facts the
+call-graph builder and the project passes need: its dotted module name
+(derived from the package layout on disk), its top-level classes with
+their methods and base-class names, its top-level functions, and a map
+from local names to the dotted targets they import.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and the facts passes ask about it."""
+
+    name: str
+    node: ast.ClassDef
+    module: str
+    #: method name -> def node (later defs win, matching runtime).
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(default_factory=dict)
+    #: base-class expressions as dotted strings ("FetchPolicy",
+    #: "resource_alloc.DispatchPolicy"); unresolvable bases are omitted.
+    bases: list[str] = field(default_factory=list)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table of one scanned module."""
+
+    path: str
+    name: str  # dotted module name ("repro.reliability.dvm")
+    tree: ast.Module
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(default_factory=dict)
+    #: local name -> dotted import target.  ``import repro.config as c``
+    #: maps ``c -> repro.config``; ``from repro.config import Machine``
+    #: maps ``Machine -> repro.config.Machine``.
+    imports: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def basename(self) -> str:
+        return os.path.basename(self.path)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name from the package layout around ``path``.
+
+    Walks parent directories while they contain ``__init__.py`` —
+    ``src/repro/reliability/dvm.py`` becomes ``repro.reliability.dvm``
+    regardless of where the source root sits.  A file outside any
+    package keeps its bare stem.
+    """
+    stem = os.path.splitext(os.path.basename(path))[0]
+    parts: list[str] = [] if stem == "__init__" else [stem]
+    directory = os.path.dirname(os.path.abspath(path))
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.insert(0, os.path.basename(directory))
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else stem
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` attribute/name chain as a dotted string, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def build_module_info(path: str, tree: ast.Module, name: str | None = None) -> ModuleInfo:
+    """Digest one parsed module into a :class:`ModuleInfo`."""
+    info = ModuleInfo(path=path, name=name or module_name_for(path), tree=tree)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            cls = ClassInfo(name=node.name, node=node, module=info.name)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[stmt.name] = stmt
+            for base in node.bases:
+                dotted = _dotted(base)
+                if dotted is not None:
+                    cls.bases.append(dotted)
+            info.classes[node.name] = cls
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = node
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.imports[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                info.imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return info

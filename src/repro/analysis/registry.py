@@ -16,6 +16,7 @@ from repro.analysis.diagnostics import Diagnostic
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.engine import FileContext
+    from repro.analysis.flow.project import ProjectContext
 
 
 class BaseChecker:
@@ -37,6 +38,24 @@ class BaseChecker:
         if not self.default_paths:
             return True
         return ctx.basename in self.default_paths
+
+
+class ProjectChecker(BaseChecker):
+    """A whole-project (dataflow) lint rule.
+
+    Runs once per :meth:`LintEngine.run` against the shared
+    :class:`~repro.analysis.flow.project.ProjectContext` instead of
+    once per file; ``check`` (the per-file hook) is a no-op so the
+    per-file dispatch loop can treat both kinds uniformly.  The engine
+    still applies per-file suppression tables to every diagnostic a
+    project pass emits, keyed on the diagnostic's path.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError
 
 
 _C = TypeVar("_C", bound=type[BaseChecker])

@@ -1,21 +1,36 @@
-"""Text and JSON diagnostic reporters."""
+"""Text, JSON and SARIF diagnostic reporters."""
 
 from __future__ import annotations
 
 import json
+import os
 from typing import Sequence
 
 from repro.analysis.diagnostics import Diagnostic, Severity
+
+#: SARIF 2.1.0 result levels, by severity.
+_SARIF_LEVEL = {Severity.NOTE: "note", Severity.WARNING: "warning", Severity.ERROR: "error"}
+
+
+def _counts(diags: Sequence[Diagnostic]) -> dict[str, int]:
+    return {
+        "total": len(diags),
+        "errors": sum(1 for d in diags if d.severity == Severity.ERROR),
+        "warnings": sum(1 for d in diags if d.severity == Severity.WARNING),
+        "notes": sum(1 for d in diags if d.severity == Severity.NOTE),
+    }
 
 
 def render_text(diags: Sequence[Diagnostic]) -> str:
     """One ``path:line:col: severity [rule] message`` line per finding,
     plus a summary line."""
     lines = [d.format() for d in diags]
-    n_err = sum(1 for d in diags if d.severity == Severity.ERROR)
-    n_warn = len(diags) - n_err
+    c = _counts(diags)
     if diags:
-        lines.append(f"found {len(diags)} problem(s) ({n_err} error(s), {n_warn} warning(s))")
+        lines.append(
+            f"found {c['total']} problem(s) ({c['errors']} error(s), "
+            f"{c['warnings']} warning(s), {c['notes']} note(s))"
+        )
     else:
         lines.append("no problems found")
     return "\n".join(lines)
@@ -25,16 +40,79 @@ def render_json(diags: Sequence[Diagnostic]) -> str:
     """Machine-readable report: a stable JSON document for CI tooling."""
     payload = {
         "diagnostics": [d.to_json() for d in diags],
-        "summary": {
-            "total": len(diags),
-            "errors": sum(1 for d in diags if d.severity == Severity.ERROR),
-            "warnings": sum(1 for d in diags if d.severity == Severity.WARNING),
-        },
+        "summary": _counts(diags),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-_RENDERERS = {"text": render_text, "json": render_json}
+def render_sarif(diags: Sequence[Diagnostic]) -> str:
+    """SARIF 2.1.0 — the format GitHub code scanning ingests for inline
+    PR annotations.  One run, one result per diagnostic, rule metadata
+    drawn from the live registry."""
+    from repro.analysis.registry import all_rules, get_checker
+
+    rules_meta = []
+    for rule in all_rules():
+        checker = get_checker(rule)
+        rules_meta.append(
+            {
+                "id": rule,
+                "shortDescription": {"text": checker.description or rule},
+            }
+        )
+    rule_index = {meta["id"]: i for i, meta in enumerate(rules_meta)}
+
+    results = []
+    for diag in diags:
+        uri = diag.path
+        if os.path.isabs(uri):
+            try:
+                uri = os.path.relpath(uri)
+            except ValueError:
+                pass
+        uri = uri.replace(os.sep, "/")
+        result = {
+            "ruleId": diag.rule,
+            "level": _SARIF_LEVEL[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": uri},
+                        "region": {
+                            "startLine": max(diag.line, 1),
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.rule in rule_index:
+            result["ruleIndex"] = rule_index[diag.rule]
+        if diag.symbol:
+            result["partialFingerprints"] = {"symbol": diag.symbol}
+        results.append(result)
+
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_RENDERERS = {"text": render_text, "json": render_json, "sarif": render_sarif}
 
 
 def render(diags: Sequence[Diagnostic], fmt: str) -> str:

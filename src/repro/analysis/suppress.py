@@ -27,10 +27,16 @@ WILDCARD = "all"
 
 @dataclass
 class SuppressionTable:
-    """Suppressed rules per line plus file-wide suppressions."""
+    """Suppressed rules per line plus file-wide suppressions.
+
+    ``mentions`` records every ``(rule, line)`` a directive named, in
+    source order, so the engine can warn about directives that name a
+    rule the registry has never registered (a typo silences nothing).
+    """
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     file_wide: set[str] = field(default_factory=set)
+    mentions: list[tuple[str, int]] = field(default_factory=list)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         if rule in self.file_wide or WILDCARD in self.file_wide:
@@ -53,12 +59,16 @@ def parse_suppressions(source: str) -> SuppressionTable:
                 continue
             file_match = _FILE_RE.search(tok.string)
             if file_match:
-                table.file_wide |= _split_rules(file_match.group(1))
+                rules = _split_rules(file_match.group(1))
+                table.file_wide |= rules
+                table.mentions.extend((r, tok.start[0]) for r in sorted(rules))
                 continue
             line_match = _LINE_RE.search(tok.string)
             if line_match:
+                rules = _split_rules(line_match.group(1))
                 line_rules = table.by_line.setdefault(tok.start[0], set())
-                line_rules |= _split_rules(line_match.group(1))
+                line_rules |= rules
+                table.mentions.extend((r, tok.start[0]) for r in sorted(rules))
     except tokenize.TokenError:
         # Unterminated constructs: the engine reports the syntax error
         # separately; no suppressions apply.

@@ -180,7 +180,7 @@ def dvm_scale(scale: BenchScale) -> BenchScale:
     ``t_cache_miss`` rescaled to the shorter interval."""
     return dataclasses.replace(
         scale,
-        interval_cycles=1_000,
+        interval_cycles=1_000,  # lint: disable=paper-fidelity
         max_cycles=max(scale.max_cycles, 24_000),
         warmup_cycles=4_000,
         t_cache_miss=max(scale.t_cache_miss // 2, 1),

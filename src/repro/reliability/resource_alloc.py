@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.config import ReliabilityConfig
 from repro.telemetry.bus import EventBus
 from repro.telemetry.topics import TOPIC_FLUSH_SWITCH, TOPIC_IQL_CAP
 
@@ -176,10 +177,12 @@ class L2MissSensitiveAllocation(DynamicIQAllocation):
         iq_size: int,
         commit_width: int = 8,
         num_regions: int = 4,
-        t_cache_miss: int = 16,
+        t_cache_miss: int | None = None,
         min_limit: int = 8,
     ):
         super().__init__(iq_size, commit_width, num_regions, min_limit)
+        if t_cache_miss is None:
+            t_cache_miss = ReliabilityConfig().t_cache_miss
         if t_cache_miss < 0:
             raise ValueError("t_cache_miss must be non-negative")
         self.t_cache_miss = t_cache_miss

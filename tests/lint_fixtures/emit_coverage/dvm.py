@@ -1,0 +1,30 @@
+"""Fixture for ``emit-coverage``: the basename makes this a decision
+module, so public state-mutating ``on_*`` hooks must reach an emit."""
+
+
+class SilentDVM:
+    def __init__(self, bus):
+        self.bus = bus
+        self.triggered = False
+
+    def on_sample(self, estimate):  # flagged: mutates, never emits
+        self.triggered = estimate > 0.5
+
+    def on_idle(self):  # trivial body: exempt
+        pass
+
+
+class ChattyDVM:
+    def __init__(self, bus):
+        self.bus = bus
+        self.triggered = False
+
+    def on_sample(self, estimate):  # clean: reaches emit via a helper
+        self.triggered = estimate > 0.5
+        self._publish(estimate)
+
+    def _publish(self, estimate):
+        self.bus.emit("dvm.sample", estimate=estimate)
+
+    def on_peek(self, estimate):  # clean: reads state, mutates nothing
+        return self.triggered and estimate > 0.5

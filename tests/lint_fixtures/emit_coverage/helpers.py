@@ -1,0 +1,10 @@
+"""Negative control for ``emit-coverage``: same hook shape, but the
+basename is not a decision module, so nothing is flagged."""
+
+
+class SilentHelper:
+    def __init__(self):
+        self.count = 0
+
+    def on_sample(self, estimate):
+        self.count += 1

@@ -1,0 +1,41 @@
+"""Counterexample for the ``hidden-state`` project pass."""
+
+
+class Controller:
+    def __init__(self):
+        self.total = 0
+
+    def reset(self):
+        self.total = 0
+
+    def on_trigger(self):
+        self._armed = True  # flagged: born here, reset() never restores it
+
+
+class HelperHidden:
+    def __init__(self):
+        self.samples = []
+
+    def reset(self):
+        self.samples.clear()
+
+    def on_sample(self, x):
+        self._tally(x)
+
+    def _tally(self, x):  # flagged via the call graph: acc born in a helper
+        self.acc = getattr(self, "acc", 0) + x
+
+
+class SlottedBase:
+    __slots__ = ("a",)
+
+    def __init__(self):
+        self.a = 0
+
+
+class SlottedDerived(SlottedBase):
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__()
+        self.b = 1  # flagged: missing from every __slots__ on the chain

@@ -1,0 +1,56 @@
+"""Negative fixture for ``hidden-state``: late-bound attributes covered
+by reset(), init helpers, and complete __slots__ chains."""
+
+
+class GoodController:
+    def __init__(self):
+        self.total = 0
+        self._armed = False
+
+    def reset(self):
+        self.total = 0
+        self._armed = False
+
+    def on_trigger(self):
+        self._armed = True  # bound in __init__: fine
+
+
+class LazyButReset:
+    def __init__(self):
+        self.count = 0
+
+    def reset(self):
+        self.count = 0
+        self.history = []  # reset() restores it: fine
+
+    def record(self, x):
+        self.history = [x]
+
+
+class InitViaHelper:
+    def __init__(self):
+        self._setup()
+
+    def _setup(self):
+        self.depth = 0  # bound during construction, through a helper
+
+    def reset(self):
+        self._setup()
+
+    def descend(self):
+        self.depth += 1
+
+
+class CompleteBase:
+    __slots__ = ("a",)
+
+    def __init__(self):
+        self.a = 0
+
+
+class CompleteDerived(CompleteBase):
+    __slots__ = ("b",)
+
+    def __init__(self):
+        super().__init__()
+        self.b = 1

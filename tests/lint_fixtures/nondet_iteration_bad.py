@@ -1,0 +1,26 @@
+"""Counterexample for the ``nondet-iteration`` project pass: set
+iteration order reaching simulator state or an emit payload."""
+
+
+class ReadyTracker:
+    def __init__(self, bus):
+        self.bus = bus
+        self.order = []
+        self._pending = frozenset()
+
+    def collect(self, window):
+        pending = {slot.tag for slot in window}
+        for tag in pending:  # set-comp reaching definition
+            self.order.append(tag)  # ...appended to state in set order
+
+    def squash(self, tags):
+        doomed = set(tags)
+        for tag in doomed:  # set() call reaching definition
+            self.order.append(tag)
+
+    def note(self, tags):
+        self._pending = {t for t in tags}
+
+    def drain(self):
+        for tag in self._pending:  # set-valued attribute
+            self.bus.emit("iq.drain", tag=tag)  # order leaks into telemetry

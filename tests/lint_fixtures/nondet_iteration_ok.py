@@ -1,0 +1,25 @@
+"""Negative fixture for ``nondet-iteration``: set iteration that is
+order-insensitive, laundered through sorted(), or not a set at all."""
+
+
+class CleanTracker:
+    def __init__(self, bus):
+        self.bus = bus
+        self.order = []
+
+    def collect_sorted(self, window):
+        pending = {slot.tag for slot in window}
+        for tag in sorted(pending):  # sorted() launders the order
+            self.order.append(tag)
+
+    def count(self, window):
+        pending = {slot.tag for slot in window}
+        total = 0
+        for tag in pending:  # order-insensitive reduction, no escape
+            total += tag
+        return total
+
+    def collect_list(self, window):
+        pending = [slot.tag for slot in window]
+        for tag in pending:  # list-valued: order is deterministic
+            self.order.append(tag)

@@ -1,0 +1,25 @@
+"""Counterexample for the ``paper-fidelity`` project pass.
+
+Every binding below either re-hard-codes a catalogued paper constant
+(error) or silently drifts from it (warning)."""
+
+
+interval_cycles = 10_000  # error: exact paper value re-hard-coded
+
+ace_window = 39_000  # warning: drifts from the paper's 40_000
+
+
+def simulate(cycles, t_cache_miss=16):  # error: parameter default
+    return cycles // t_cache_miss
+
+
+def configure(**kwargs):
+    return kwargs
+
+
+def sweep():
+    return configure(dvm_trigger_fraction=0.9)  # error: keyword argument
+
+
+def should_flush(misses, t_cache_miss):
+    return t_cache_miss == 16 and misses > t_cache_miss  # error: comparison

@@ -1,0 +1,22 @@
+"""Negative fixture for ``paper-fidelity``: every catalogued identifier
+flows from config or uses non-paper values in legitimate ways."""
+
+from repro.config import ReliabilityConfig
+
+_REL = ReliabilityConfig()
+
+interval_cycles = _REL.interval_cycles  # flows from config: silent
+
+threshold = 16  # non-catalogued identifier: silent
+
+
+def simulate(cycles, t_cache_miss=_REL.t_cache_miss):  # expression default
+    return cycles // t_cache_miss
+
+
+def guard(t_cache_miss):
+    return t_cache_miss < 0  # bounds check against a non-paper value
+
+
+def scaled(scale):
+    return dict(interval_cycles=scale.interval_cycles)  # expression kwarg

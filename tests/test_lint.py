@@ -16,6 +16,8 @@ from repro.analysis.reporters import render
 HERE = os.path.dirname(__file__)
 FIXTURES = os.path.join(HERE, "lint_fixtures")
 SRC = os.path.join(HERE, os.pardir, "src")
+ROOT = os.path.dirname(os.path.abspath(HERE))
+BASELINE = os.path.join(ROOT, "lint-baseline.json")
 
 #: rule -> its dedicated counterexample fixture.
 FIXTURE_OF = {
@@ -102,8 +104,17 @@ class TestCheckersFireOnFixtures:
 
 
 class TestRealTreeClean:
-    def test_src_tree_is_clean(self):
+    def test_src_tree_is_clean_modulo_baseline(self):
+        """Everything the full engine (per-file rules plus project
+        passes) finds on src/ is recorded in the committed baseline."""
+        from repro.analysis import filter_new, load_baseline
+
         diags = LintEngine().run([SRC])
+        new = filter_new(diags, load_baseline(BASELINE), root=ROOT)
+        assert new == [], "\n".join(d.format() for d in new)
+
+    def test_per_file_rules_are_clean_without_baseline(self):
+        diags = LintEngine().run([SRC], project_phase=False)
         assert diags == [], "\n".join(d.format() for d in diags)
 
 
@@ -133,6 +144,40 @@ class TestSuppressions:
     def test_directive_inside_string_is_ignored(self):
         src = 'import random\ns = "# lint: disable-file=all"\nx = random.random()\n'
         assert len(LintEngine(["determinism"]).check_source(src)) == 1
+
+    def test_one_directive_suppresses_multiple_rules(self):
+        src = (
+            "import random\n"
+            "import time\n"
+            "x = (random.random(), time.time())"
+            "  # lint: disable=determinism, slots\n"
+        )
+        assert LintEngine(["determinism", "slots"]).check_source(src) == []
+
+    def test_unknown_rule_in_directive_warns(self):
+        src = "x = 1  # lint: disable=not-a-rule\n"
+        diags = LintEngine().check_source(src)
+        assert len(diags) == 1
+        assert diags[0].rule == "suppress"
+        assert diags[0].severity == Severity.WARNING
+        assert "not-a-rule" in diags[0].message
+
+    def test_known_rule_in_directive_does_not_warn(self):
+        src = "x = 1  # lint: disable=determinism,all\n"
+        assert LintEngine().check_source(src) == []
+
+    def test_file_suppression_applies_to_project_passes(self, tmp_path):
+        body = "interval_cycles = 10_000\n"
+        bad = tmp_path / "consts.py"
+        bad.write_text(body)
+        assert LintEngine(["paper-fidelity"]).run([str(tmp_path)]) != []
+        bad.write_text("# lint: disable-file=paper-fidelity\n" + body)
+        assert LintEngine(["paper-fidelity"]).run([str(tmp_path)]) == []
+
+    def test_line_suppression_applies_to_project_passes(self, tmp_path):
+        bad = tmp_path / "consts.py"
+        bad.write_text("interval_cycles = 10_000  # lint: disable=paper-fidelity\n")
+        assert LintEngine(["paper-fidelity"]).run([str(tmp_path)]) == []
 
 
 class TestEngine:
@@ -172,13 +217,59 @@ class TestReporters:
     def test_severity_str(self):
         assert str(Severity.ERROR) == "error"
         assert str(Severity.WARNING) == "warning"
+        assert str(Severity.NOTE) == "note"
+
+    def test_sarif_report_structure(self):
+        diags = run_rule("slots", FIXTURE_OF["slots"])
+        doc = json.loads(render(diags, "sarif"))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        assert len(run["results"]) == len(diags)
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "slots" in rules
+        result = run["results"][0]
+        assert result["level"] == "error"
+        assert result["locations"][0]["physicalLocation"]["region"]["startLine"] > 0
 
 
 class TestCLI:
     def test_exit_codes(self, capsys):
-        assert lint_main([SRC]) == 0
-        assert lint_main([FIXTURE_OF["slots"]]) == 1
-        assert lint_main([]) == 2
+        assert lint_main(["--no-cache", "--baseline", BASELINE, SRC]) == 0
+        assert lint_main(["--no-cache", FIXTURE_OF["slots"]]) == 1
+        capsys.readouterr()
+
+    def test_no_paths_and_no_default_roots_is_usage_error(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--no-cache"]) == 2
+        assert "no default roots" in capsys.readouterr().err
+
+    def test_default_roots_discovered_from_cwd(self, capsys, tmp_path, monkeypatch):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "ok.py").write_text("x = 1\n")
+        tests = tmp_path / "tests"
+        tests.mkdir()
+        (tests / "bad.py").write_text("interval_cycles = 10_000\n")
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--no-cache"]) == 1
+        assert "paper-fidelity" in capsys.readouterr().out
+
+    def test_fail_on_threshold(self, capsys):
+        # src/ carries only baselined warnings: gating on errors passes,
+        # gating on warnings (the default) fails.
+        assert lint_main(["--no-cache", "--fail-on", "error", SRC]) == 0
+        assert lint_main(["--no-cache", SRC]) == 1
+        assert lint_main(["--no-cache", "--fail-on", "warning", SRC]) == 1
+        capsys.readouterr()
+
+    def test_baseline_round_trip(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        fixture = FIXTURE_OF["slots"]
+        assert lint_main(["--no-cache", "--write-baseline", str(baseline), fixture]) == 0
+        assert lint_main(["--no-cache", "--baseline", str(baseline), fixture]) == 0
         capsys.readouterr()
 
     def test_list_rules(self, capsys):
@@ -206,7 +297,8 @@ class TestCLI:
         env = dict(os.environ)
         env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
         proc = subprocess.run(
-            [sys.executable, "-m", "repro.lint", SRC],
+            [sys.executable, "-m", "repro.lint", "--no-cache",
+             "--baseline", BASELINE, SRC],
             capture_output=True,
             text=True,
             env=env,

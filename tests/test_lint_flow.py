@@ -1,0 +1,383 @@
+"""The project-wide dataflow layer: CFG + reaching definitions +
+liveness, the import-resolved call graph, and the four passes built on
+them (paper-fidelity, nondet-iteration, emit-coverage, hidden-state)."""
+
+import ast
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import LintEngine, Severity
+from repro.analysis.checkers.paper_fidelity import PAPER_CONSTANTS
+from repro.analysis.flow import CallGraph, build_flow, build_module_info
+
+HERE = os.path.dirname(__file__)
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+
+
+def run_pass(rule, *paths):
+    """Run one project pass (engine run, both phases) over paths."""
+    return LintEngine([rule]).run(list(paths))
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def make_flow(body):
+    tree = ast.parse(textwrap.dedent(body))
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return func, build_flow(func)
+
+
+def stmt_at(func, lineno):
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and getattr(node, "lineno", None) == lineno:
+            return node
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+# ----------------------------------------------------------------------
+# CFG + reaching definitions + liveness
+# ----------------------------------------------------------------------
+class TestReachingDefinitions:
+    def test_straight_line_single_definition(self):
+        func, flow = make_flow(
+            """
+            def f():
+                x = 1
+                y = x
+                return y
+            """
+        )
+        use = stmt_at(func, 4)  # y = x
+        defs = flow.reaching_in(use)["x"]
+        assert [d.lineno for d in defs] == [3]
+
+    def test_if_else_join_merges_both_branches(self):
+        func, flow = make_flow(
+            """
+            def f(cond):
+                if cond:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        ret = stmt_at(func, 7)
+        assert sorted(d.lineno for d in flow.reaching_in(ret)["x"]) == [4, 6]
+
+    def test_redefinition_kills_previous(self):
+        func, flow = make_flow(
+            """
+            def f():
+                x = 1
+                x = 2
+                return x
+            """
+        )
+        ret = stmt_at(func, 5)
+        assert [d.lineno for d in flow.reaching_in(ret)["x"]] == [4]
+
+    def test_loop_back_edge_brings_body_definition_to_header(self):
+        func, flow = make_flow(
+            """
+            def f(items):
+                acc = 0
+                for item in items:
+                    acc = acc + item
+                return acc
+            """
+        )
+        loop = stmt_at(func, 4)
+        lines = sorted(d.lineno for d in flow.reaching_in(loop)["acc"])
+        assert lines == [3, 5]  # initial def and the back-edge def
+
+    def test_parameters_reach_as_function_node(self):
+        func, flow = make_flow(
+            """
+            def f(n):
+                return n
+            """
+        )
+        ret = stmt_at(func, 3)
+        assert flow.reaching_in(ret)["n"] == [func]
+
+    def test_assigned_value_recovers_expression(self):
+        func, flow = make_flow(
+            """
+            def f(window):
+                pending = {w for w in window}
+                for tag in pending:
+                    pass
+            """
+        )
+        loop = stmt_at(func, 4)
+        (def_stmt,) = flow.reaching_in(loop)["pending"]
+        assert isinstance(flow.assigned_value(def_stmt, "pending"), ast.SetComp)
+
+    def test_try_except_handler_sees_body_definitions(self):
+        func, flow = make_flow(
+            """
+            def f():
+                x = 1
+                try:
+                    x = 2
+                except ValueError:
+                    y = x
+                return x
+            """
+        )
+        handler_stmt = stmt_at(func, 7)  # y = x
+        lines = sorted(d.lineno for d in flow.reaching_in(handler_stmt)["x"])
+        assert lines == [3, 5]  # the try body may or may not have run
+
+
+class TestLiveness:
+    def test_used_later_is_live_out(self):
+        func, flow = make_flow(
+            """
+            def f():
+                x = 1
+                y = 2
+                return x
+            """
+        )
+        assert "x" in flow.live_out(stmt_at(func, 3))
+        assert "y" not in flow.live_out(stmt_at(func, 4))
+
+    def test_loop_keeps_accumulator_live(self):
+        func, flow = make_flow(
+            """
+            def f(items):
+                acc = 0
+                for item in items:
+                    acc = acc + item
+                return acc
+            """
+        )
+        assert "acc" in flow.live_out(stmt_at(func, 5))
+
+    def test_branch_use_is_live_in(self):
+        func, flow = make_flow(
+            """
+            def f(cond, x):
+                if cond:
+                    return x
+                return 0
+            """
+        )
+        assert {"cond", "x"} <= flow.live_in(stmt_at(func, 3))
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+def graph_of(**sources):
+    """Build a CallGraph from {dotted_module_name: source}."""
+    modules = {}
+    for name, src in sources.items():
+        path = name.replace(".", os.sep) + ".py"
+        modules[name] = build_module_info(path, ast.parse(textwrap.dedent(src)), name)
+    return CallGraph(modules), modules
+
+
+class TestCallGraph:
+    def test_self_call_resolves_through_class(self):
+        graph, _ = graph_of(
+            m="""
+            class A:
+                def top(self):
+                    self.helper()
+                def helper(self):
+                    pass
+            """
+        )
+        assert graph.callees("m.A.top") == ["m.A.helper"]
+
+    def test_inherited_method_resolves_through_mro(self):
+        graph, _ = graph_of(
+            m="""
+            class Base:
+                def helper(self):
+                    pass
+            class Child(Base):
+                def top(self):
+                    self.helper()
+            """
+        )
+        assert graph.callees("m.Child.top") == ["m.Base.helper"]
+
+    def test_super_call_resolves_to_base(self):
+        graph, _ = graph_of(
+            m="""
+            class Base:
+                def reset(self):
+                    pass
+            class Child(Base):
+                def reset(self):
+                    super().reset()
+            """
+        )
+        assert graph.callees("m.Child.reset") == ["m.Base.reset"]
+
+    def test_cross_module_base_through_import(self):
+        graph, mods = graph_of(
+            pkg_base="""
+            class Base:
+                def helper(self):
+                    pass
+            """,
+            pkg_child="""
+            from pkg_base import Base
+            class Child(Base):
+                def top(self):
+                    self.helper()
+            """,
+        )
+        assert graph.callees("pkg_child.Child.top") == ["pkg_base.Base.helper"]
+        mro = graph.mro(mods["pkg_child"], mods["pkg_child"].classes["Child"])
+        assert [c.qualname for _, c in mro] == ["pkg_child.Child", "pkg_base.Base"]
+
+    def test_from_imported_function_call(self):
+        graph, _ = graph_of(
+            util="""
+            def helper():
+                pass
+            """,
+            main="""
+            from util import helper
+            def top():
+                helper()
+            """,
+        )
+        assert graph.callees("main.top") == ["util.helper"]
+
+    def test_reaches_emit_through_helper_chain(self):
+        graph, _ = graph_of(
+            m="""
+            class C:
+                def a(self):
+                    self.b()
+                def b(self):
+                    self.c()
+                def c(self):
+                    self.bus.emit("t", x=1)
+                def lonely(self):
+                    self.x = 1
+            """
+        )
+        assert graph.reaches_emit("m.C.a")
+        assert graph.reaches_emit("m.C.c")
+        assert not graph.reaches_emit("m.C.lonely")
+
+    def test_recursive_functions_terminate(self):
+        graph, _ = graph_of(
+            m="""
+            def even(n):
+                return n == 0 or odd(n - 1)
+            def odd(n):
+                return n != 0 and even(n - 1)
+            """
+        )
+        assert not graph.reaches_emit("m.even")
+
+
+# ----------------------------------------------------------------------
+# The four project passes, against their fixtures
+# ----------------------------------------------------------------------
+class TestPaperFidelityPass:
+    def test_fires_on_every_bad_binding_site(self):
+        diags = run_pass("paper-fidelity", fixture("paper_fidelity_bad.py"))
+        by_sev = {}
+        for d in diags:
+            by_sev.setdefault(d.severity, []).append(d)
+        messages = [d.message for d in diags]
+        assert any("assignment re-hard-codes" in m for m in messages)
+        assert any("drifts from the paper's" in m for m in messages)
+        assert any("parameter default re-hard-codes" in m for m in messages)
+        assert any("keyword argument re-hard-codes" in m for m in messages)
+        assert any("comparison re-hard-codes" in m for m in messages)
+        assert len(by_sev[Severity.WARNING]) == 1  # only the drifted ace_window
+
+    def test_silent_on_config_derived_values(self):
+        assert run_pass("paper-fidelity", fixture("paper_fidelity_ok.py")) == []
+
+    def test_config_module_is_exempt(self, tmp_path):
+        cfg = tmp_path / "config.py"
+        cfg.write_text("interval_cycles = 10_000\n")
+        assert run_pass("paper-fidelity", str(tmp_path)) == []
+
+    def test_test_modules_are_exempt(self, tmp_path):
+        mod = tmp_path / "test_something.py"
+        mod.write_text("interval_cycles = 10_000\n")
+        assert run_pass("paper-fidelity", str(tmp_path)) == []
+
+    @pytest.mark.parametrize(
+        "const", PAPER_CONSTANTS, ids=[c.key for c in PAPER_CONSTANTS]
+    )
+    def test_each_constant_detects_drift_with_section_reference(self, const, tmp_path):
+        ident = sorted(const.identifiers)[0]
+        drifted = const.value * 2 + 1
+        mod = tmp_path / "knobs.py"
+        mod.write_text(f"{ident} = {drifted!r}\n")
+        diags = run_pass("paper-fidelity", str(mod))
+        assert len(diags) == 1
+        d = diags[0]
+        assert d.severity == Severity.WARNING
+        assert d.symbol == const.key
+        assert const.section in d.message
+        assert const.config_attr in d.message
+
+    @pytest.mark.parametrize(
+        "const", PAPER_CONSTANTS, ids=[c.key for c in PAPER_CONSTANTS]
+    )
+    def test_each_constant_detects_rehardcoding_as_error(self, const, tmp_path):
+        ident = sorted(const.identifiers)[0]
+        mod = tmp_path / "knobs.py"
+        mod.write_text(f"{ident} = {const.value!r}\n")
+        diags = run_pass("paper-fidelity", str(mod))
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.ERROR
+        assert const.section in diags[0].message
+
+
+class TestNondetIterationPass:
+    def test_fires_on_all_three_leaks(self):
+        diags = run_pass("nondet-iteration", fixture("nondet_iteration_bad.py"))
+        symbols = {d.symbol for d in diags}
+        assert symbols == {"pending", "doomed", "ReadyTracker._pending"}
+        assert all(d.severity == Severity.ERROR for d in diags)
+        assert all("sorted" in d.message for d in diags)
+
+    def test_silent_on_laundered_or_local_iteration(self):
+        assert run_pass("nondet-iteration", fixture("nondet_iteration_ok.py")) == []
+
+
+class TestEmitCoveragePass:
+    def test_flags_only_the_silent_mutating_hook(self):
+        diags = run_pass("emit-coverage", os.path.join(FIXTURES, "emit_coverage"))
+        assert {d.symbol for d in diags} == {"SilentDVM.on_sample"}
+        assert diags[0].severity == Severity.WARNING
+        assert "bus.emit" in diags[0].message
+
+
+class TestHiddenStatePass:
+    def test_fires_on_unreset_and_unslotted_attributes(self):
+        diags = run_pass("hidden-state", fixture("hidden_state_bad.py"))
+        by_symbol = {d.symbol: d for d in diags}
+        assert set(by_symbol) == {
+            "Controller._armed",
+            "HelperHidden.acc",
+            "SlottedDerived.b",
+        }
+        assert by_symbol["Controller._armed"].severity == Severity.WARNING
+        assert "reset() never restores" in by_symbol["HelperHidden.acc"].message
+        assert by_symbol["SlottedDerived.b"].severity == Severity.ERROR
+        assert "__slots__" in by_symbol["SlottedDerived.b"].message
+
+    def test_silent_on_covered_attributes(self):
+        assert run_pass("hidden-state", fixture("hidden_state_ok.py")) == []
