@@ -4,6 +4,8 @@ Commands
 --------
 ``run``         simulate one workload mix under a chosen configuration
 ``timeline``    render the merged interval/decision timeline of one run
+``perf``        performance observability: bench suite, regression gate,
+                Chrome-trace export (see ``repro.perf.cli``)
 ``profile``     offline per-PC vulnerability profiling of one benchmark
 ``reproduce``   regenerate one of the paper's tables/figures
 ``list``        enumerate benchmarks, mixes, policies and experiments
@@ -13,7 +15,10 @@ Examples::
     python -m repro run --mix MEM-A --scheduler visa --dispatch opt2
     python -m repro run --mix CPU-A --dvm 0.5 --cycles 24000
     python -m repro timeline --mix MEM-A --dvm 0.5 --dispatch opt2 --chart
-    python -m repro timeline --input timeline.jsonl --json
+    python -m repro timeline --input timeline.jsonl --trace-out timeline-trace.json
+    python -m repro perf run --repeats 3
+    python -m repro perf compare --tolerance 0.25
+    python -m repro perf trace --mix MEM-A --dvm 0.5 -o trace.json
     python -m repro profile mesa --instructions 50000
     python -m repro reproduce fig5
     python -m repro list
@@ -28,6 +33,7 @@ import sys
 from repro.harness import experiments
 from repro.harness.report import format_table, save_report
 from repro.harness.runner import BenchScale, mix_harmonic_ipc, run_recorded, run_sim
+from repro.perf.cli import register_perf_cli
 from repro.telemetry.timeline import read_jsonl, render_timeline, timeline_json
 from repro.isa.generator import generate_program
 from repro.isa.personalities import PERSONALITIES
@@ -146,6 +152,11 @@ def cmd_timeline(args) -> int:
         if args.save:
             n = recorder.to_jsonl(args.save, manifest=manifest)
             print(f"recorded {n} events to {args.save}", file=sys.stderr)
+    if args.trace_out:
+        from repro.perf.chrome_trace import write_chrome_trace
+
+        n = write_chrome_trace(args.trace_out, recorded=events, manifest=manifest)
+        print(f"wrote {n} trace events to {args.trace_out}", file=sys.stderr)
     if args.json:
         print(json.dumps(timeline_json(events, manifest), indent=2, sort_keys=True))
     else:
@@ -259,9 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="truncate the text timeline after N rows")
     p_tl.add_argument("--save", metavar="PATH", default=None,
                       help="also save the recording as JSONL")
+    p_tl.add_argument("--trace-out", metavar="PATH", default=None,
+                      help="export the timeline as Chrome trace-event JSON "
+                           "(loadable in Perfetto/about:tracing)")
     p_tl.add_argument("--no-self-profile", action="store_true",
                       help="skip the per-stage wall-time self-profile")
     p_tl.set_defaults(func=cmd_timeline)
+
+    register_perf_cli(sub)
 
     p_prof = sub.add_parser("profile", help="offline vulnerability profiling")
     p_prof.add_argument("benchmark")

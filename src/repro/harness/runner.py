@@ -201,6 +201,7 @@ def run_recorded(
     dvm_static_ratio: float | None = None,
     profiled: bool = True,
     profile_stages: bool = True,
+    profiler: StageProfiler | None = None,
     event_limit: int = 200_000,
 ) -> tuple[SimulationResult, TimelineRecorder, StageProfile | None]:
     """One uncached simulation with a decision timeline attached.
@@ -208,8 +209,10 @@ def run_recorded(
     Builds the same pipeline as :func:`run_sim` but subscribes a
     :class:`~repro.telemetry.timeline.TimelineRecorder` to the
     interval/decision topics and (optionally) a
-    :class:`~repro.telemetry.profiler.StageProfiler`.  Results are never
-    cached: the recorder and profile belong to this specific run.
+    :class:`~repro.telemetry.profiler.StageProfiler`.  An explicit
+    ``profiler`` (e.g. :class:`repro.perf.spans.TracingProfiler` for
+    Chrome-trace export) overrides ``profile_stages``.  Results are
+    never cached: the recorder and profile belong to this specific run.
     """
     machine = MachineConfig(num_threads=len(get_mix(mix_name).benchmarks))
     sim = scale.sim_config()
@@ -218,7 +221,8 @@ def run_recorded(
         dvm = DVMController(
             dvm_target, config=sim.reliability, static_ratio=dvm_static_ratio
         )
-    profiler = StageProfiler() if profile_stages else None
+    if profiler is None and profile_stages:
+        profiler = StageProfiler()
     pipe = SMTPipeline(
         get_programs(mix_name, scale, profiled),
         machine=machine,

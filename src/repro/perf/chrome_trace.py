@@ -1,0 +1,279 @@
+"""Chrome trace-event JSON export (Perfetto / about:tracing).
+
+Converts the two observability streams into one trace document:
+
+* :class:`~repro.perf.spans.SpanRecord` lists become complete events
+  (``"ph": "X"``) — nested slices on one track;
+* recorded bus events (:class:`~repro.telemetry.timeline.RecordedEvent`)
+  become instant events (``"ph": "i"``) for controller decisions and
+  complete events for ``interval.close``, laid out on per-family tracks
+  (intervals / DVM / allocation / fetch) in the *cycle* time domain.
+
+The exporter emits the JSON-object form ``{"traceEvents": [...]}`` with
+the run manifest under ``otherData``, which both Perfetto and
+``chrome://tracing`` load directly.  ``validate_trace()`` checks the
+schema and the nesting well-formedness the tests (and CI artifact
+consumers) rely on.
+
+Timestamps (``ts``/``dur``) are microseconds per the trace-event spec;
+for cycle-domain tracks one simulated cycle maps to ``cycle_us``
+microseconds (1.0 by default, i.e. "1 µs = 1 cycle").
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.perf.spans import SpanRecord
+from repro.telemetry.provenance import RunManifest
+from repro.telemetry.timeline import RecordedEvent
+
+#: The simulator is one process in the trace.
+TRACE_PID = 1
+
+#: Track (tid) layout.  tid 0 carries wall-time spans; the cycle-domain
+#: event tracks sit above it.
+TID_SPANS = 0
+TID_INTERVALS = 1
+TID_DVM = 2
+TID_ALLOC = 3
+TID_FETCH = 4
+
+#: Topic-family → track for recorded decision events.
+_TOPIC_TIDS: dict[str, int] = {
+    "interval.close": TID_INTERVALS,
+    "dvm.sample": TID_DVM,
+    "dvm.trigger": TID_DVM,
+    "dvm.ratio": TID_DVM,
+    "dvm.throttle": TID_DVM,
+    "dvm.restore": TID_DVM,
+    "iql.cap": TID_ALLOC,
+    "flush.switch": TID_ALLOC,
+    "fetch.flush": TID_FETCH,
+    "perf.span": TID_SPANS,
+}
+
+_TRACK_NAMES: dict[int, str] = {
+    TID_SPANS: "spans (wall time)",
+    TID_INTERVALS: "intervals",
+    TID_DVM: "dvm decisions",
+    TID_ALLOC: "iq allocation",
+    TID_FETCH: "fetch policy",
+}
+
+
+def _json_safe(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def span_events(
+    spans: Iterable[SpanRecord], *, pid: int = TRACE_PID
+) -> list[dict[str, Any]]:
+    """Complete (``"X"``) events for a span list."""
+    return [
+        {
+            "name": s.name,
+            "cat": s.cat,
+            "ph": "X",
+            "ts": s.ts_us,
+            "dur": max(s.dur_us, 0.0),
+            "pid": pid,
+            "tid": s.tid,
+            "args": _json_safe(s.args),
+        }
+        for s in spans
+    ]
+
+
+def recorded_events(
+    events: Iterable[RecordedEvent],
+    *,
+    cycle_us: float = 1.0,
+    pid: int = TRACE_PID,
+) -> list[dict[str, Any]]:
+    """Cycle-domain trace events for a recorded decision timeline."""
+    if cycle_us <= 0:
+        raise ValueError("cycle_us must be positive")
+    out: list[dict[str, Any]] = []
+    for ev in events:
+        tid = _TOPIC_TIDS.get(ev.topic, TID_FETCH)
+        args = _json_safe(dict(ev.payload))
+        if not isinstance(args, dict):  # pragma: no cover - dict in, dict out
+            args = {"payload": args}
+        args["stage"] = ev.stage
+        if ev.topic == "interval.close":
+            # Intervals close at (index+1)*L cycles; recover L from the
+            # payload so each interval renders as a slice, not a point.
+            index = int(ev.payload.get("index", 0))
+            end_cycle = int(ev.payload.get("end_cycle", ev.cycle + 1))
+            length = max(1, end_cycle // (index + 1))
+            out.append(
+                {
+                    "name": f"interval {index}",
+                    "cat": "interval",
+                    "ph": "X",
+                    "ts": (end_cycle - length) * cycle_us,
+                    "dur": length * cycle_us,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            out.append(
+                {
+                    "name": ev.topic,
+                    "cat": "decision",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ev.cycle * cycle_us,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return out
+
+
+def metadata_events(
+    tids: Iterable[int], *, pid: int = TRACE_PID, process_name: str = "repro"
+) -> list[dict[str, Any]]:
+    """``"M"`` events naming the process and each used track."""
+    out: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid in sorted(set(tids)):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": _TRACK_NAMES.get(tid, f"track {tid}")},
+            }
+        )
+    return out
+
+
+def build_trace(
+    spans: Sequence[SpanRecord] | None = None,
+    recorded: Sequence[RecordedEvent] | None = None,
+    *,
+    cycle_us: float = 1.0,
+    manifest: RunManifest | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the Chrome trace JSON-object document."""
+    events: list[dict[str, Any]] = []
+    if spans:
+        events.extend(span_events(spans))
+    if recorded:
+        events.extend(recorded_events(recorded, cycle_us=cycle_us))
+    used_tids = {int(e["tid"]) for e in events} or {TID_SPANS}
+    events = metadata_events(used_tids) + events
+    other: dict[str, Any] = {"cycle_us": cycle_us, **dict(extra or {})}
+    if manifest is not None:
+        other["manifest"] = manifest.to_dict()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": _json_safe(other),
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    *,
+    spans: Sequence[SpanRecord] | None = None,
+    recorded: Sequence[RecordedEvent] | None = None,
+    cycle_us: float = 1.0,
+    manifest: RunManifest | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> int:
+    """Write a trace file; returns the number of non-metadata events."""
+    doc = build_trace(
+        spans, recorded, cycle_us=cycle_us, manifest=manifest, extra=extra
+    )
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return sum(1 for e in doc["traceEvents"] if e.get("ph") != "M")
+
+
+# ----------------------------------------------------------------------
+# Validation (used by the tests and the CI artifact step)
+# ----------------------------------------------------------------------
+_REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid", "s"),
+    "M": ("name", "pid", "tid", "args"),
+}
+
+
+def validate_trace(doc: Mapping[str, Any]) -> dict[str, int]:
+    """Check a trace document's schema and span nesting.
+
+    Raises :class:`ValueError` on the first malformed event: unknown or
+    missing phase, missing required keys, negative duration, or two
+    complete events on one track that overlap without one containing
+    the other (ill-formed nesting).  Returns per-phase event counts.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document has no traceEvents list")
+    counts: dict[str, int] = {}
+    tracks: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, Mapping):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _REQUIRED_KEYS:
+            raise ValueError(f"traceEvents[{i}]: unsupported phase {ph!r}")
+        for key in _REQUIRED_KEYS[ph]:
+            if key not in ev:
+                raise ValueError(f"traceEvents[{i}] ({ph!r}): missing {key!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph == "X":
+            ts, dur = float(ev["ts"]), float(ev["dur"])
+            if dur < 0:
+                raise ValueError(f"traceEvents[{i}]: negative duration {dur}")
+            tracks.setdefault((int(ev["pid"]), int(ev["tid"])), []).append((ts, dur))
+    eps = 1e-6
+    for (pid, tid), slices in tracks.items():
+        # Longer slice first at equal start so parents precede children.
+        slices.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[float] = []  # open-slice end times
+        for ts, dur in slices:
+            while stack and stack[-1] <= ts + eps:
+                stack.pop()
+            end = ts + dur
+            if stack and end > stack[-1] + eps:
+                raise ValueError(
+                    f"ill-formed nesting on pid={pid} tid={tid}: slice "
+                    f"[{ts}, {end}] overlaps its enclosing slice ending "
+                    f"at {stack[-1]}"
+                )
+            stack.append(end)
+    return counts
+
+
+def read_trace(path: str) -> dict[str, Any]:
+    """Load a trace document written by :func:`write_chrome_trace`."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a Chrome trace JSON object")
+    return doc

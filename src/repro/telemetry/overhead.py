@@ -12,6 +12,12 @@ Run as a module::
 
     PYTHONPATH=src python -m repro.telemetry.overhead --max-overhead 0.05
 
+Besides the pass/fail verdict, the measurement is appended as a
+``telemetry-overhead`` entry to the ``BENCH_perf.json`` history (via
+:mod:`repro.perf.history`), so the zero-subscriber overhead has a
+recorded trajectory instead of vanishing into CI logs; ``--no-history``
+skips the write.
+
 Timing is wall-clock by necessity, so the determinism rule is
 suppressed for this file; nothing here feeds simulated results.
 """
@@ -46,6 +52,16 @@ class OverheadReport:
         if self.bare_s <= 0:
             return 0.0
         return (self.stamped_s - self.bare_s) / self.bare_s
+
+    def results(self) -> dict[str, dict[str, float | int]]:
+        """History-writer form: one named result per timed variant."""
+        return {
+            "telemetry_bare_loop": {"best_s": self.bare_s, "repeats": self.repeats},
+            "telemetry_stamped_loop": {
+                "best_s": self.stamped_s,
+                "repeats": self.repeats,
+            },
+        }
 
     def format(self) -> str:
         return (
@@ -107,9 +123,37 @@ def main(argv: list[str] | None = None) -> int:
         default=0.05,
         help="maximum allowed relative overhead (default 0.05 = 5%%)",
     )
+    parser.add_argument(
+        "--history",
+        default="BENCH_perf.json",
+        metavar="PATH",
+        help="BENCH_perf.json history to append the measurement to",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not persist the measurement into the history file",
+    )
     args = parser.parse_args(argv)
     report = measure_overhead(args.mix, cycles=args.cycles, repeats=args.repeats)
     print(report.format())
+    if not args.no_history:
+        # Imported here: repro.perf builds on the telemetry layer, so
+        # importing it at module scope would invert the layering.
+        from repro.perf.history import KIND_TELEMETRY_OVERHEAD, append_entry
+
+        append_entry(
+            args.history,
+            report.results(),
+            kind=KIND_TELEMETRY_OVERHEAD,
+            context={
+                "mix": report.mix,
+                "cycles": report.cycles,
+                "overhead": report.overhead,
+                "max_overhead": args.max_overhead,
+            },
+        )
+        print(f"measurement appended to {args.history}")
     if report.overhead > args.max_overhead:
         print(
             f"FAIL: overhead {report.overhead*100:.2f}% exceeds "

@@ -84,8 +84,18 @@ class StageProfiler:
 
     # ------------------------------------------------------------------
     def report(self) -> StageProfile:
-        if self._wall_start is not None:  # report mid-run: close the window
+        """Snapshot the accumulated profile.
+
+        Safe to call mid-run: the wall window is closed to account the
+        elapsed time and immediately reopened, so cycles simulated
+        after a mid-run report keep counting toward ``wall_s``.
+        """
+        mid_run = self._wall_start is not None
+        if mid_run:
             self.end_run()
-        return StageProfile(
+        profile = StageProfile(
             seconds=dict(self._seconds), cycles=self.cycles, wall_s=self._wall_s
         )
+        if mid_run:
+            self.start_run()
+        return profile

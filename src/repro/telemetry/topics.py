@@ -129,6 +129,15 @@ TOPIC_FETCH_FLUSH = _topic(
 )
 
 # ----------------------------------------------------------------------
+# Performance observability (repro.perf)
+# ----------------------------------------------------------------------
+TOPIC_PERF_SPAN = _topic(
+    "perf.span",
+    ("name", "cat", "ts_us", "dur_us", "depth"),
+    "one hierarchical wall-time span closed (repro.perf span tracer)",
+)
+
+# ----------------------------------------------------------------------
 # Instruction-granularity topics (hot; guarded by cached wants() flags)
 # ----------------------------------------------------------------------
 TOPIC_COMMIT = _topic(

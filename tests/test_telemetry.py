@@ -254,6 +254,90 @@ class TestProfiler:
         assert prof.cycles == 0 and prof.cycles_per_sec == 0.0
         assert all(v == 0.0 for v in prof.shares().values())
 
+    def test_mid_run_report_keeps_wall_window_open(self):
+        # Regression: report() used to end_run() without reopening the
+        # wall window, so cycles after a mid-run report were profiled
+        # against a frozen wall clock (cycles_per_sec inflated, later
+        # end_run() a no-op).
+        profiler = StageProfiler()
+        profiler.start_run()
+        profiler.cycle_start()
+        profiler.lap("fetch")
+        mid = profiler.report()
+        assert mid.cycles == 1 and mid.wall_s > 0
+        # The run must still be live: more cycles accumulate.
+        profiler.cycle_start()
+        profiler.lap("fetch")
+        profiler.end_run()
+        final = profiler.report()
+        assert final.cycles == 2
+        assert final.wall_s >= mid.wall_s
+        assert final.seconds["fetch"] >= mid.seconds["fetch"]
+
+    def test_report_after_end_run_does_not_reopen(self):
+        profiler = StageProfiler()
+        profiler.start_run()
+        profiler.cycle_start()
+        profiler.lap("fetch")
+        profiler.end_run()
+        wall = profiler.report().wall_s
+        # A closed run stays closed across repeated reports.
+        assert profiler.report().wall_s == wall
+
+
+# ----------------------------------------------------------------------
+# Overhead measurement → BENCH_perf.json persistence (satellite)
+# ----------------------------------------------------------------------
+class TestOverheadHistory:
+    def _fake_report(self):
+        from repro.telemetry.overhead import OverheadReport
+
+        return OverheadReport(
+            mix="MIX-A", cycles=100, repeats=1, bare_s=0.010, stamped_s=0.0102
+        )
+
+    def test_main_appends_history_entry(self, tmp_path, monkeypatch):
+        from repro.telemetry import overhead
+
+        monkeypatch.setattr(
+            overhead, "measure_overhead", lambda *a, **kw: self._fake_report()
+        )
+        hist = tmp_path / "BENCH_perf.json"
+        rc = overhead.main(["--history", str(hist)])
+        assert rc == 0
+        doc = json.loads(hist.read_text())
+        (entry,) = doc["entries"]
+        assert entry["kind"] == "telemetry-overhead"
+        assert set(entry["results"]) == {
+            "telemetry_bare_loop",
+            "telemetry_stamped_loop",
+        }
+        assert entry["results"]["telemetry_bare_loop"]["best_s"] == pytest.approx(0.010)
+        assert entry["context"]["overhead"] == pytest.approx(0.02)
+        assert "manifest" in entry
+
+    def test_no_history_flag_skips_write(self, tmp_path, monkeypatch):
+        from repro.telemetry import overhead
+
+        monkeypatch.setattr(
+            overhead, "measure_overhead", lambda *a, **kw: self._fake_report()
+        )
+        hist = tmp_path / "BENCH_perf.json"
+        rc = overhead.main(["--history", str(hist), "--no-history"])
+        assert rc == 0
+        assert not hist.exists()
+
+    def test_failure_exit_still_persists(self, tmp_path, monkeypatch):
+        from repro.telemetry import overhead
+
+        monkeypatch.setattr(
+            overhead, "measure_overhead", lambda *a, **kw: self._fake_report()
+        )
+        hist = tmp_path / "BENCH_perf.json"
+        rc = overhead.main(["--history", str(hist), "--max-overhead", "0.001"])
+        assert rc == 1
+        assert json.loads(hist.read_text())["entries"]
+
 
 # ----------------------------------------------------------------------
 # Timeline
