@@ -4,6 +4,8 @@ Commands
 --------
 ``run``         simulate one workload mix under a chosen configuration
 ``timeline``    render the merged interval/decision timeline of one run
+``sweep``       run a parameter grid (optionally parallel, checkpointed)
+``figures``     run several figure/table suites (optionally parallel)
 ``perf``        performance observability: bench suite, regression gate,
                 Chrome-trace export (see ``repro.perf.cli``)
 ``profile``     offline per-PC vulnerability profiling of one benchmark
@@ -16,6 +18,9 @@ Examples::
     python -m repro run --mix CPU-A --dvm 0.5 --cycles 24000
     python -m repro timeline --mix MEM-A --dvm 0.5 --dispatch opt2 --chart
     python -m repro timeline --input timeline.jsonl --trace-out timeline-trace.json
+    python -m repro sweep --mix MEM-A --axis scheduler=oldest,visa \\
+        --axis dispatch=none,opt1,opt2 --jobs 4 --resume
+    python -m repro figures fig5 fig8 --jobs 2 --resume --save
     python -m repro perf run --repeats 3
     python -m repro perf compare --tolerance 0.25
     python -m repro perf trace --mix MEM-A --dvm 0.5 -o trace.json
@@ -31,25 +36,27 @@ import json
 import sys
 
 from repro.harness import experiments
+from repro.harness import parallel as parallel_mod
 from repro.harness.report import format_table, save_report
 from repro.harness.runner import BenchScale, mix_harmonic_ipc, run_recorded, run_sim
+from repro.harness.sweep import NAMED_METRICS
 from repro.perf.cli import register_perf_cli
-from repro.telemetry.timeline import read_jsonl, render_timeline, timeline_json
+from repro.telemetry.bus import EventBus
+from repro.telemetry.timeline import (
+    TimelineRecorder,
+    read_jsonl,
+    render_timeline,
+    timeline_json,
+)
+from repro.telemetry.topics import TOPIC_HARNESS_POINT
 from repro.isa.generator import generate_program
 from repro.isa.personalities import PERSONALITIES
 from repro.reliability.avf import Structure
 from repro.reliability.profiling import profile_program
 from repro.workloads import MIXES
 
-_EXPERIMENTS = {
-    "fig1": (experiments.fig1_structure_avf, "Figure 1 — structure AVF per category"),
-    "fig5": (experiments.fig5_visa_configs, "Figure 5 — VISA configs (ICOUNT)"),
-    "fig6": (experiments.fig6_fetch_policies, "Figure 6 — VISA configs under fetch policies"),
-    "fig8": (experiments.fig8_dvm, "Figure 8 — DVM sweep (ICOUNT)"),
-    "fig9": (experiments.fig9_dvm_flush, "Figure 9 — DVM sweep (FLUSH)"),
-    "fig10": (experiments.fig10_comparison, "Figure 10 — PVE of all schemes"),
-    "table1": (experiments.table1_pc_accuracy, "Table 1 — PC classification accuracy"),
-}
+#: ``reproduce``/``figures`` share the suite registry with the engine.
+_EXPERIMENTS = dict(experiments.SUITES)
 
 
 def _scale_from_args(args) -> BenchScale:
@@ -171,6 +178,172 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def _parse_value(text: str):
+    """CLI literal -> python value (none/true/false/int/float/str)."""
+    t = text.strip()
+    low = t.lower()
+    if low in ("none", "null"):
+        return None
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    for cast in (int, float):
+        try:
+            return cast(t)
+        except ValueError:
+            pass
+    return t
+
+
+def _parse_axis(spec: str) -> tuple[str, list]:
+    name, sep, rest = spec.partition("=")
+    if not sep or not name.strip() or not rest.strip():
+        raise argparse.ArgumentTypeError(
+            f"axis must look like NAME=V1,V2,... (got {spec!r})"
+        )
+    return name.strip(), [_parse_value(v) for v in rest.split(",")]
+
+
+def _parse_kwargs(spec: str) -> dict:
+    out = {}
+    for pair in spec.split(","):
+        name, sep, value = pair.partition("=")
+        if not sep or not name.strip():
+            raise argparse.ArgumentTypeError(
+                f"expected comma-separated NAME=VALUE pairs (got {spec!r})"
+            )
+        out[name.strip()] = _parse_value(value)
+    return out
+
+
+def _progress_printer(event) -> None:
+    p = event.payload
+    worker = f" w{p['worker']}" if p["worker"] >= 0 else ""
+    timing = f" {p['elapsed_ms']:.0f}ms" if p["status"] == "done" else ""
+    print(
+        f"  [{p['status']:>7}] {p['label']}{worker}{timing}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _engine_kwargs(args) -> dict:
+    checkpoint: str | bool | None = True
+    if getattr(args, "no_checkpoint", False):
+        checkpoint = None
+    elif getattr(args, "checkpoint", None):
+        checkpoint = args.checkpoint
+    return dict(
+        jobs=args.jobs,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+
+
+def _report_engine_run(run, what: str) -> None:
+    if run.checkpoint_path:
+        print(
+            f"{what}: {run.executed} executed, {run.cached} resumed from "
+            f"checkpoint {run.checkpoint_path}",
+            file=sys.stderr,
+        )
+    for rep in run.skipped:
+        print(
+            f"warning: skipped {rep.label} after {rep.attempts} attempt(s): "
+            f"{rep.error}",
+            file=sys.stderr,
+        )
+
+
+def cmd_sweep(args) -> int:
+    scale = _scale_from_args(args)
+    axes = dict(args.axis)
+    metric_names = args.metric or ["ipc", "iq_avf", "max_iq_avf"]
+    metrics = {name: NAMED_METRICS[name] for name in metric_names}
+    normalize_to = _parse_kwargs(args.normalize_to) if args.normalize_to else None
+    fixed: dict = {}
+    for spec in args.fixed or []:
+        fixed.update(_parse_kwargs(spec))
+
+    bus = EventBus()
+    recorder = TimelineRecorder(bus, topics=(TOPIC_HARNESS_POINT,))
+    if not args.quiet:
+        bus.subscribe(TOPIC_HARNESS_POINT, _progress_printer)
+    try:
+        with recorder:
+            run = parallel_mod.parallel_sweep(
+                args.mix,
+                scale,
+                axes,
+                metrics,
+                normalize_to,
+                strict=args.strict,
+                bus=bus,
+                **_engine_kwargs(args),
+                **fixed,
+            )
+    except (RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    title = f"sweep [{args.mix}] " + " x ".join(
+        f"{k}({len(v)})" for k, v in axes.items()
+    )
+    print(format_table(run.rows, title))
+    _report_engine_run(run, "sweep")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(run.rows, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(run.rows)} rows to {args.out}", file=sys.stderr)
+    if args.record:
+        n = recorder.to_jsonl(args.record)
+        print(f"recorded {n} harness events to {args.record}", file=sys.stderr)
+    if args.trace_out:
+        from repro.perf.chrome_trace import write_chrome_trace
+
+        n = write_chrome_trace(args.trace_out, recorded=recorder.events)
+        print(f"wrote {n} trace events to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_figures(args) -> int:
+    scale = _scale_from_args(args)
+    names = args.experiments or sorted(_EXPERIMENTS)
+    unknown = sorted(set(names) - set(_EXPERIMENTS))
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; one of {sorted(_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    bus = EventBus()
+    if not args.quiet:
+        bus.subscribe(TOPIC_HARNESS_POINT, _progress_printer)
+    try:
+        run = parallel_mod.parallel_figures(
+            names, scale, strict=args.strict, bus=bus, **_engine_kwargs(args)
+        )
+    except (RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name in names:
+        if name not in run.results:
+            continue
+        rows = run.results[name]
+        if isinstance(rows, dict):
+            rows = [rows]
+        text = format_table(rows, _EXPERIMENTS[name][1])
+        print(text)
+        if args.save:
+            path = save_report(name, text)
+            print(f"saved to {path}", file=sys.stderr)
+    _report_engine_run(run, "figures")
+    return 0
+
+
 def cmd_profile(args) -> int:
     if args.benchmark not in PERSONALITIES:
         print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
@@ -276,6 +449,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--no-self-profile", action="store_true",
                       help="skip the per-stage wall-time self-profile")
     p_tl.set_defaults(func=cmd_timeline)
+
+    p_sw = sub.add_parser(
+        "sweep", help="parameter grid sweep (parallel, checkpointed)"
+    )
+    p_sw.add_argument("--mix", default="CPU-A", choices=sorted(MIXES))
+    p_sw.add_argument("--axis", action="append", type=_parse_axis, required=True,
+                      metavar="NAME=V1,V2,...",
+                      help="one run_sim kwarg axis (repeatable)")
+    p_sw.add_argument("--metric", action="append", choices=sorted(NAMED_METRICS),
+                      help="metric to extract (repeatable; default: "
+                           "ipc, iq_avf, max_iq_avf)")
+    p_sw.add_argument("--normalize-to", metavar="KWARGS", default=None,
+                      help="baseline kwargs every metric is divided by, "
+                           "e.g. scheduler=oldest,dispatch=none")
+    p_sw.add_argument("--fixed", action="append", metavar="KWARGS",
+                      help="fixed run_sim kwargs applied to every point")
+    p_sw.add_argument("--jobs", type=int, default=0,
+                      help="worker processes (0/1 = run in-process)")
+    p_sw.add_argument("--resume", action="store_true",
+                      help="reuse completed points from the checkpoint shard")
+    p_sw.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="checkpoint shard path (default: auto under reports/)")
+    p_sw.add_argument("--no-checkpoint", action="store_true",
+                      help="disable the on-disk checkpoint shard")
+    p_sw.add_argument("--timeout", type=float, default=None,
+                      help="per-point wait timeout in seconds (pool mode only)")
+    p_sw.add_argument("--retries", type=int, default=2,
+                      help="retry rounds before a failing point is skipped")
+    p_sw.add_argument("--strict", action="store_true",
+                      help="fail instead of skipping exhausted points")
+    p_sw.add_argument("--cycles", type=int, default=None)
+    p_sw.add_argument("--seed", type=int, default=None)
+    p_sw.add_argument("--quiet", action="store_true",
+                      help="suppress per-point progress lines")
+    p_sw.add_argument("--out", metavar="PATH", default=None,
+                      help="write the result rows as JSON")
+    p_sw.add_argument("--record", metavar="PATH", default=None,
+                      help="save the harness.point event stream as JSONL")
+    p_sw.add_argument("--trace-out", metavar="PATH", default=None,
+                      help="export per-worker point tracks as Chrome trace JSON")
+    p_sw.set_defaults(func=cmd_sweep)
+
+    p_fig = sub.add_parser(
+        "figures", help="run several figure/table suites (parallel)"
+    )
+    p_fig.add_argument("experiments", nargs="*",
+                       help="suites to run (default: all registered)")
+    p_fig.add_argument("--jobs", type=int, default=0)
+    p_fig.add_argument("--resume", action="store_true")
+    p_fig.add_argument("--checkpoint", metavar="PATH", default=None)
+    p_fig.add_argument("--no-checkpoint", action="store_true")
+    p_fig.add_argument("--timeout", type=float, default=None)
+    p_fig.add_argument("--retries", type=int, default=1)
+    p_fig.add_argument("--strict", action="store_true")
+    p_fig.add_argument("--cycles", type=int, default=None)
+    p_fig.add_argument("--seed", type=int, default=None)
+    p_fig.add_argument("--full", action="store_true",
+                       help="all Table 3 groups (paper averaging)")
+    p_fig.add_argument("--save", action="store_true",
+                       help="write reports/<name>.txt per suite")
+    p_fig.add_argument("--quiet", action="store_true")
+    p_fig.set_defaults(func=cmd_figures)
 
     register_perf_cli(sub)
 

@@ -13,6 +13,16 @@ from repro.harness.charts import hbar_chart, sparkline, strip_chart
 from repro.harness.replication import Replicated, replicate, replicated_ratio
 from repro.harness.trace import PipelineTracer, TraceEvent
 
+# Imported last: the parallel engine builds on the sweep helpers and the
+# experiment suite registry above.
+from repro.harness.parallel import (
+    CheckpointShard,
+    SweepRun,
+    parallel_figures,
+    parallel_replicate,
+    parallel_sweep,
+)
+
 __all__ = [
     "BenchScale",
     "run_sim",
@@ -30,4 +40,9 @@ __all__ = [
     "Replicated",
     "PipelineTracer",
     "TraceEvent",
+    "CheckpointShard",
+    "SweepRun",
+    "parallel_figures",
+    "parallel_replicate",
+    "parallel_sweep",
 ]

@@ -377,6 +377,22 @@ def ablation_interval_size(scale: BenchScale, intervals=(500, 2_000, 7_000)) -> 
 
 
 # ----------------------------------------------------------------------
+# Suite registry (CLI ``reproduce``/``figures`` and the parallel engine)
+# ----------------------------------------------------------------------
+#: name -> (driver, title).  Each driver takes a BenchScale and returns
+#: a list of row dicts; the parallel engine runs one suite per worker.
+SUITES = {
+    "fig1": (fig1_structure_avf, "Figure 1 — structure AVF per category"),
+    "fig5": (fig5_visa_configs, "Figure 5 — VISA configs (ICOUNT)"),
+    "fig6": (fig6_fetch_policies, "Figure 6 — VISA configs under fetch policies"),
+    "fig8": (fig8_dvm, "Figure 8 — DVM sweep (ICOUNT)"),
+    "fig9": (fig9_dvm_flush, "Figure 9 — DVM sweep (FLUSH)"),
+    "fig10": (fig10_comparison, "Figure 10 — PVE of all schemes"),
+    "table1": (table1_pc_accuracy, "Table 1 — PC classification accuracy"),
+}
+
+
+# ----------------------------------------------------------------------
 # Workload characterization (single-thread, per Table 1 benchmark)
 # ----------------------------------------------------------------------
 def characterize_benchmarks(scale: BenchScale, names=None) -> list[dict]:

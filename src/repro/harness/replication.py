@@ -17,6 +17,13 @@ import numpy as np
 
 from repro.core.pipeline import SimulationResult
 from repro.harness.runner import BenchScale, run_sim
+from repro.harness.sweep import normalize_value
+
+#: Default extractors shared with :func:`repro.harness.parallel.parallel_replicate`.
+DEFAULT_METRICS: dict[str, Callable[[SimulationResult], float]] = {
+    "ipc": lambda r: r.ipc,
+    "iq_avf": lambda r: r.iq_avf,
+}
 
 
 @dataclass(frozen=True)
@@ -69,7 +76,7 @@ def replicate(
     if not seeds:
         raise ValueError("at least one seed is required")
     if metrics is None:
-        metrics = {"ipc": lambda r: r.ipc, "iq_avf": lambda r: r.iq_avf}
+        metrics = dict(DEFAULT_METRICS)
     samples: dict[str, list[float]] = {name: [] for name in metrics}
     for seed in seeds:
         seeded = dataclasses.replace(scale, seed=seed)
@@ -103,6 +110,9 @@ def replicated_ratio(
         seeded = dataclasses.replace(scale, seed=seed)
         base = run_sim(mix_name, seeded, **baseline_kwargs)
         treat = run_sim(mix_name, seeded, **run_kwargs)
-        denom = metric(base)
-        ratios.append(float(metric(treat) / denom) if denom else 0.0)
+        # A zero baseline metric yields NaN + a RuntimeWarning (see
+        # normalize_value) — it must not read as a perfect reduction.
+        ratios.append(
+            normalize_value(float(metric(treat)), float(metric(base)), "ratio")
+        )
     return Replicated(metric="ratio", values=tuple(ratios))

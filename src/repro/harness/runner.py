@@ -64,8 +64,26 @@ class BenchScale:
     @staticmethod
     def from_env() -> "BenchScale":
         groups = ("A", "B", "C") if os.environ.get("REPRO_FULL") else ("A",)
-        cycles = int(os.environ.get("REPRO_CYCLES", 14_000))
-        return BenchScale(max_cycles=cycles, groups=groups)
+        raw = os.environ.get("REPRO_CYCLES")
+        if raw is None:
+            return BenchScale(groups=groups)
+        try:
+            cycles = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CYCLES must be an integer cycle count, got {raw!r}"
+            ) from None
+        if cycles <= 0:
+            raise ValueError(f"REPRO_CYCLES must be positive, got {cycles}")
+        defaults = BenchScale()
+        warmup = defaults.warmup_cycles
+        if cycles < defaults.max_cycles:
+            # A shrunken budget keeps the default 3/14 warm-up proportion;
+            # inheriting the absolute 3000-cycle warm-up would leave a
+            # run like REPRO_CYCLES=2000 all warm-up (sim_config() then
+            # rejects warmup_cycles >= max_cycles with an opaque error).
+            warmup = max(cycles * defaults.warmup_cycles // defaults.max_cycles, 1)
+        return BenchScale(max_cycles=cycles, warmup_cycles=warmup, groups=groups)
 
     def sim_config(self, *, collect_hist: bool = False) -> SimulationConfig:
         rel = ReliabilityConfig(
@@ -148,6 +166,34 @@ def _make_dispatch(name: str | None, scale: BenchScale, machine: MachineConfig) 
     raise KeyError(f"unknown dispatch policy {name!r} (none/opt1/opt2)")
 
 
+def _memo_key(mix_name: str, scale: BenchScale, params: dict) -> tuple:
+    """The ``_RESULTS`` cache key for one ``run_sim`` configuration.
+
+    Every behaviour-affecting kwarg participates (sorted by name, so two
+    configurations can only collide by being equal), and an unhashable
+    value fails here with a clear message instead of a bare
+    ``TypeError`` deep inside the cache-dict lookup.
+    """
+    key = (mix_name, scale, tuple(sorted(params.items())))
+    try:
+        hash(key)
+    except TypeError as exc:
+        def _hashable(v) -> bool:
+            try:
+                hash(v)
+            except TypeError:
+                return False
+            return True
+
+        bad = sorted(k for k, v in params.items() if not _hashable(v))
+        raise TypeError(
+            f"run_sim() configuration is not hashable and cannot be memoized: "
+            f"offending kwarg(s) {bad or ['scale']}; pass hashable values or "
+            f"use_cache=False"
+        ) from exc
+    return key
+
+
 def run_sim(
     mix_name: str,
     scale: BenchScale,
@@ -162,11 +208,16 @@ def run_sim(
     use_cache: bool = True,
 ) -> SimulationResult:
     """Run (or fetch from cache) one simulation data point."""
-    key = (
-        mix_name, scale, fetch_policy, scheduler, dispatch,
-        dvm_target, dvm_static_ratio, profiled, collect_hist,
-    )
-    if use_cache and key in _RESULTS:
+    # locals() at function entry is exactly the parameter set, so a
+    # future behaviour-affecting kwarg joins the memo key automatically.
+    args = locals()
+    params = {
+        name: value
+        for name, value in args.items()
+        if name not in ("mix_name", "scale", "use_cache")
+    }
+    key = _memo_key(mix_name, scale, params) if use_cache else None
+    if key is not None and key in _RESULTS:
         return _RESULTS[key]
     machine = MachineConfig(num_threads=len(get_mix(mix_name).benchmarks))
     sim = scale.sim_config(collect_hist=collect_hist)
@@ -185,7 +236,7 @@ def run_sim(
         dvm=dvm,
     )
     result = pipe.run()
-    if use_cache:
+    if key is not None:
         _RESULTS[key] = result
     return result
 

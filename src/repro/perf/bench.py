@@ -178,6 +178,34 @@ def _make_lint_warm(scale: BenchScale) -> Callable[[], None]:
     return run
 
 
+def _make_parallel_sweep(scale: BenchScale) -> Callable[[], None]:
+    """Harness-engine orchestration + checkpoint IO over a warm grid.
+
+    The warm-up call populates the ``run_sim`` memo cache, so the timed
+    repeats measure the execution engine itself (task planning, merge,
+    telemetry bookkeeping, JSONL checkpoint writes) — each repeat gets
+    a fresh shard path so every run writes the full checkpoint.
+    """
+    import itertools
+    import tempfile
+
+    from repro.harness.parallel import parallel_sweep
+
+    axes = {"scheduler": ["oldest", "visa"], "dispatch": [None, "opt2"]}
+    out_dir = tempfile.mkdtemp(prefix="repro-perf-sweep-")
+    counter = itertools.count()
+
+    def run() -> None:
+        parallel_sweep(
+            _BENCH_MIX,
+            scale,
+            axes,
+            checkpoint=os.path.join(out_dir, f"sweep-{next(counter)}.jsonl"),
+        )
+
+    return run
+
+
 BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase(
         "pipeline_cycle_loop",
@@ -203,6 +231,11 @@ BENCH_CASES: tuple[BenchCase, ...] = (
         "lint_warm",
         "warm-cache repro.lint per-file run (telemetry package)",
         _make_lint_warm,
+    ),
+    BenchCase(
+        "parallel_sweep",
+        "harness engine orchestration + checkpoint IO (warm 2x2 grid)",
+        _make_parallel_sweep,
     ),
 )
 

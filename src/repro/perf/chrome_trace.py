@@ -39,6 +39,10 @@ TID_INTERVALS = 1
 TID_DVM = 2
 TID_ALLOC = 3
 TID_FETCH = 4
+TID_SWEEP = 5
+#: Per-worker point tracks of the parallel harness sit above the fixed
+#: tracks: worker *n* renders on tid ``TID_WORKER_BASE + n``.
+TID_WORKER_BASE = 6
 
 #: Topic-family → track for recorded decision events.
 _TOPIC_TIDS: dict[str, int] = {
@@ -52,6 +56,7 @@ _TOPIC_TIDS: dict[str, int] = {
     "flush.switch": TID_ALLOC,
     "fetch.flush": TID_FETCH,
     "perf.span": TID_SPANS,
+    "harness.point": TID_SWEEP,
 }
 
 _TRACK_NAMES: dict[int, str] = {
@@ -60,7 +65,14 @@ _TRACK_NAMES: dict[int, str] = {
     TID_DVM: "dvm decisions",
     TID_ALLOC: "iq allocation",
     TID_FETCH: "fetch policy",
+    TID_SWEEP: "sweep points",
 }
+
+
+def _track_name(tid: int) -> str:
+    if tid >= TID_WORKER_BASE:
+        return f"sweep worker {tid - TID_WORKER_BASE}"
+    return _TRACK_NAMES.get(tid, f"track {tid}")
 
 
 def _json_safe(value: Any) -> Any:
@@ -126,6 +138,41 @@ def recorded_events(
                     "args": args,
                 }
             )
+        elif ev.topic == "harness.point":
+            # Parallel-harness points live in the *wall-time* domain
+            # (payload ms since sweep start), not the cycle domain: a
+            # completed point is a slice on its worker's track, every
+            # other status (cached/retry/skipped) an instant on the
+            # sweep summary track.
+            status = str(ev.payload.get("status", ""))
+            worker = int(ev.payload.get("worker", -1))
+            ts_us = float(ev.payload.get("start_ms", 0.0)) * 1000.0
+            if status == "done" and worker >= 0:
+                out.append(
+                    {
+                        "name": str(ev.payload.get("label", "point")),
+                        "cat": "harness",
+                        "ph": "X",
+                        "ts": ts_us,
+                        "dur": float(ev.payload.get("elapsed_ms", 0.0)) * 1000.0,
+                        "pid": pid,
+                        "tid": TID_WORKER_BASE + worker,
+                        "args": args,
+                    }
+                )
+            else:
+                out.append(
+                    {
+                        "name": f"{ev.payload.get('label', 'point')} [{status}]",
+                        "cat": "harness",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": ts_us,
+                        "pid": pid,
+                        "tid": TID_SWEEP,
+                        "args": args,
+                    }
+                )
         else:
             out.append(
                 {
@@ -162,7 +209,7 @@ def metadata_events(
                 "ph": "M",
                 "pid": pid,
                 "tid": tid,
-                "args": {"name": _TRACK_NAMES.get(tid, f"track {tid}")},
+                "args": {"name": _track_name(tid)},
             }
         )
     return out

@@ -160,6 +160,12 @@ def _fmt_payload(topic: str, p: Mapping[str, Any]) -> str:
         return f"{state} FLUSH mode (l2_misses={p['l2_misses']} vs T={p['threshold']})"
     if topic == "fetch.flush":
         return f"flush t{p['thread']} after tag {p['after_tag']}"
+    if topic == "harness.point":
+        worker = f"w{p['worker']}" if p["worker"] >= 0 else "-"
+        return (
+            f"point[{p['index']}] {p['label']} -> {p['status']} "
+            f"(attempt={p['attempt']}, worker={worker}, {p['elapsed_ms']:.0f}ms)"
+        )
     return "  ".join(f"{k}={v}" for k, v in sorted(p.items()))
 
 

@@ -138,6 +138,16 @@ TOPIC_PERF_SPAN = _topic(
 )
 
 # ----------------------------------------------------------------------
+# Experiment harness (repro.harness.parallel)
+# ----------------------------------------------------------------------
+TOPIC_HARNESS_POINT = _topic(
+    "harness.point",
+    ("index", "label", "status", "start_ms", "elapsed_ms", "attempt", "worker"),
+    "one sweep point changed state in the parallel execution engine "
+    "(status: done/cached/retry/skipped; times are ms since sweep start)",
+)
+
+# ----------------------------------------------------------------------
 # Instruction-granularity topics (hot; guarded by cached wants() flags)
 # ----------------------------------------------------------------------
 TOPIC_COMMIT = _topic(

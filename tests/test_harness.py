@@ -46,6 +46,39 @@ class TestBenchScale:
         monkeypatch.setenv("REPRO_CYCLES", "9999")
         assert BenchScale.from_env().max_cycles == 9999
 
+    def test_env_cycles_scales_warmup_down(self, monkeypatch):
+        # Regression: REPRO_CYCLES=2000 used to keep warmup_cycles=3000,
+        # leaving the whole run warm-up and failing config validation
+        # with an opaque message.
+        monkeypatch.setenv("REPRO_CYCLES", "2000")
+        scale = BenchScale.from_env()
+        assert scale.max_cycles == 2000
+        assert scale.warmup_cycles == 2000 * 3000 // 14000
+        scale.sim_config().validate()
+
+    def test_env_cycles_tiny_budget_still_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CYCLES", "10")
+        scale = BenchScale.from_env()
+        assert 1 <= scale.warmup_cycles < scale.max_cycles
+        scale.sim_config().validate()
+
+    def test_env_cycles_large_budget_keeps_default_warmup(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CYCLES", "50000")
+        scale = BenchScale.from_env()
+        assert scale.max_cycles == 50000
+        assert scale.warmup_cycles == BenchScale().warmup_cycles
+
+    def test_env_cycles_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CYCLES", "lots")
+        with pytest.raises(ValueError, match="integer cycle count"):
+            BenchScale.from_env()
+
+    @pytest.mark.parametrize("raw", ["0", "-5"])
+    def test_env_cycles_rejects_nonpositive(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CYCLES", raw)
+        with pytest.raises(ValueError, match="must be positive"):
+            BenchScale.from_env()
+
     def test_sim_config_valid(self):
         TINY.sim_config().validate()
 
@@ -86,6 +119,60 @@ class TestRunner:
 
     def test_single_thread_ipc_positive(self):
         assert single_thread_ipc("gcc", TINY) > 0
+
+    def test_every_kwarg_participates_in_memo_key(self):
+        # Regression: the memo key is built from the full parameter set
+        # (via a locals() snapshot), so two configurations may only
+        # share a cache slot by being equal.  Exercise each run_sim
+        # kwarg through _memo_key directly.
+        import inspect
+
+        from repro.harness.runner import _memo_key
+
+        sig = inspect.signature(run_sim)
+        kwargs = [
+            n for n in sig.parameters
+            if n not in ("mix_name", "scale", "use_cache")
+        ]
+        assert set(kwargs) >= {
+            "fetch_policy", "scheduler", "dispatch", "dvm_target",
+            "dvm_static_ratio", "profiled", "collect_hist",
+        }
+        base = {n: sig.parameters[n].default for n in kwargs}
+        for name in kwargs:
+            varied = dict(base)
+            varied[name] = "other-value"
+            assert _memo_key("CPU-A", TINY, varied) != _memo_key(
+                "CPU-A", TINY, base
+            ), f"kwarg {name!r} does not participate in the memo key"
+
+    def test_memo_key_not_order_or_slot_ambiguous(self):
+        from repro.harness.runner import _memo_key
+
+        assert _memo_key("m", TINY, {"a": 1, "b": None}) != _memo_key(
+            "m", TINY, {"a": None, "b": 1}
+        )
+        assert _memo_key("m", TINY, {"a": 1, "b": 2}) == _memo_key(
+            "m", TINY, {"b": 2, "a": 1}
+        )
+
+    def test_collect_hist_not_conflated(self):
+        # Regression for the concrete collision this audit guards: a
+        # histogram-collecting run must not satisfy a plain lookup.
+        plain = run_sim("CPU-A", TINY)
+        hist = run_sim("CPU-A", TINY, collect_hist=True)
+        assert plain is not hist
+        assert run_sim("CPU-A", TINY, collect_hist=True) is hist
+
+    def test_unhashable_kwarg_fails_loudly(self):
+        with pytest.raises(TypeError, match="dispatch"):
+            run_sim("CPU-A", TINY, dispatch=["opt1"])
+
+    def test_use_cache_false_bypasses_memo(self):
+        r1 = run_sim("CPU-A", TINY)
+        r2 = run_sim("CPU-A", TINY, use_cache=False)
+        assert r1 is not r2
+        assert r1.committed == r2.committed
 
     def test_harmonic_ipc_bounded(self):
         res = run_sim("CPU-A", TINY)

@@ -402,6 +402,7 @@ class TestBenchSuite:
             "dvm_interval",
             "resource_alloc",
             "lint_warm",
+            "parallel_sweep",
         }
         assert all(c.description for c in BENCH_CASES)
 

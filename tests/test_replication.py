@@ -71,3 +71,18 @@ class TestReplicatedRatio:
             metric=lambda res: res.ipc,
         )
         assert r.values == (1.0,)
+
+    def test_zero_baseline_metric_is_nan_not_zero(self):
+        # Regression: a 0.0 baseline metric used to make the ratio 0.0,
+        # which reads as a perfect (100%) reduction.
+        import math
+
+        with pytest.warns(RuntimeWarning, match="baseline metric"):
+            r = replicated_ratio(
+                "CPU-A", TINY, seeds=[1, 2],
+                metric=lambda res: 0.0,
+                scheduler="visa",
+            )
+        assert r.n == 2
+        assert all(math.isnan(v) for v in r.values)
+        assert math.isnan(r.mean)

@@ -47,6 +47,23 @@ class TestSweep:
         with pytest.raises(ValueError):
             sweep("CPU-A", TINY, axes={})
 
+    def test_zero_baseline_metric_is_nan_not_zero(self):
+        # Regression: a 0.0 baseline metric used to normalize to 0.0,
+        # indistinguishable from a perfect reduction.
+        import math
+
+        with pytest.warns(RuntimeWarning, match="baseline metric 'dead'"):
+            rows = sweep(
+                "CPU-A", TINY,
+                axes={"scheduler": ["oldest", "visa"]},
+                metrics={"dead": lambda r: 0.0, "ipc": lambda r: r.ipc},
+                normalize_to={"scheduler": "oldest"},
+            )
+        assert all(math.isnan(r["dead"]) for r in rows)
+        # Metrics with a healthy baseline still normalize normally.
+        base = next(r for r in rows if r["scheduler"] == "oldest")
+        assert base["ipc"] == pytest.approx(1.0)
+
 
 class TestSelectors:
     ROWS = [
