@@ -35,11 +35,31 @@ liveness):
   be restored by ``reset()`` (checked across helper methods and base
   classes), and ``__slots__`` completeness is enforced across the MRO.
 
+Performance-model passes (:mod:`repro.analysis.perfmodel` — a
+loop-depth-weighted static cost model over the same call graph, plus
+the ``repro lint hotpaths`` report that cross-validates it against
+measured perf spans):
+
+* **hot-loop-alloc** — no allocation/dispatch churn (comprehensions,
+  displays, f-strings, ``isinstance``/``getattr`` dispatch) inside
+  loops of functions the cost model ranks as hot.
+* **pickle-safety** — pool-submitted callables must be module-level
+  functions; lambdas, nested ``def``\\ s, bound methods and
+  handle/lock arguments are flagged at the submission site.
+* **fork-safety** — worker-reachable code must not mutate fork-shared
+  state: ``global`` rebinding, module-level container mutation and
+  process-global RNG draws diverge silently between parent and
+  children.
+
 Checkers register themselves in :mod:`repro.analysis.registry`; the
 engine (:mod:`repro.analysis.engine`) walks files behind an incremental
-file-hash cache, applies ``# lint: disable=<rule>`` suppressions, and
+file-hash cache (with a whole-project snapshot giving the project
+passes transitive invalidation, and a dependency map powering
+``--changed``), applies ``# lint: disable=<rule>`` suppressions, and
 hands diagnostics to the text/JSON/SARIF reporters; ``--baseline``
-(:mod:`repro.analysis.baseline`) gates CI on new findings only.
+(:mod:`repro.analysis.baseline`) gates CI on new findings only, and
+:mod:`repro.analysis.sarif_schema` structurally validates the SARIF
+output in CI.
 """
 
 from repro.analysis.baseline import filter_new, load_baseline, write_baseline

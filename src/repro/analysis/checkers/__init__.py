@@ -2,8 +2,10 @@
 
 Importing this package registers every built-in rule; the registry does
 this lazily so ``import repro.analysis`` stays cheap.  The first six
-are per-file (AST-only) rules; the last four are project-wide dataflow
-passes built on :mod:`repro.analysis.flow`.
+are per-file (AST-only) rules; the rest are project-wide passes built
+on :mod:`repro.analysis.flow` — four dataflow passes plus the
+performance/concurrency tier from :mod:`repro.analysis.perfmodel`
+(``hot-loop-alloc``, ``pickle-safety``, ``fork-safety``).
 """
 
 from repro.analysis.checkers.config_bounds import ConfigBoundsChecker
@@ -16,6 +18,11 @@ from repro.analysis.checkers.nondet_iteration import NondetIterationChecker
 from repro.analysis.checkers.paper_fidelity import PaperFidelityChecker
 from repro.analysis.checkers.slots import SlotsCompletenessChecker
 from repro.analysis.checkers.stage_purity import StagePurityChecker
+from repro.analysis.perfmodel.forksafety import (
+    ForkSafetyChecker,
+    PickleSafetyChecker,
+)
+from repro.analysis.perfmodel.hotloop import HotLoopAllocChecker
 
 __all__ = [
     "ConfigBoundsChecker",
@@ -28,4 +35,7 @@ __all__ = [
     "PaperFidelityChecker",
     "SlotsCompletenessChecker",
     "StagePurityChecker",
+    "ForkSafetyChecker",
+    "HotLoopAllocChecker",
+    "PickleSafetyChecker",
 ]

@@ -5,18 +5,30 @@ the default roots (``src``, ``tests``, ``benchmarks``, ``examples`` —
 whichever exist under the working directory).  Exits 0 on a clean
 tree, 1 when diagnostics at or above ``--fail-on`` (default
 ``warning``) survive the baseline, 2 on usage errors.
+
+``python -m repro.lint hotpaths`` dispatches to the static cost-model
+report (:mod:`repro.analysis.perfmodel`): hot-function ranking,
+vectorizability worklist, and — with ``--validate-spans trace.json`` —
+rank-correlation of the static model against measured perf spans.
+
+``--changed`` scopes the run to the files the git working tree touched
+plus their reverse import-dependent closure from the incremental
+cache — the fast pre-commit mode.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import subprocess
 import sys
 from typing import Sequence
 
 from repro.analysis import baseline as baseline_mod
 from repro.analysis.diagnostics import parse_severity
 from repro.analysis.engine import DEFAULT_ROOTS, LintEngine, default_roots
+from repro.analysis.flow.cache import DiagnosticCache
 from repro.analysis.registry import all_rules, get_checker
 from repro.analysis.reporters import render
 
@@ -114,10 +126,97 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print cache hit/miss statistics to stderr",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed in the git working tree plus their "
+        "reverse import-dependents from the incremental cache",
+    )
     return parser
 
 
+def _git_changed_files() -> list[str] | None:
+    """Changed + untracked .py files relative to the cwd, or None when
+    not inside a git work tree."""
+    names: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True, timeout=30
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        names.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    out: list[str] = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.relpath(os.path.join(top, name))
+        if os.path.isfile(path):
+            out.append(path)
+    return out
+
+
+def _changed_scope(args: argparse.Namespace) -> list[str] | None:
+    """Resolve ``--changed`` into a path list, or None for a full run.
+
+    The dependency map lives in the incremental cache; when it is cold
+    (or git is unavailable) the scope silently widens to the default
+    roots so ``--changed`` is never less safe than a full run.
+    """
+    changed = _git_changed_files()
+    if changed is None:
+        print(
+            "repro.lint: --changed: not a git work tree; linting everything",
+            file=sys.stderr,
+        )
+        return None
+    if not changed:
+        return []
+    if args.no_cache:
+        return None
+    cache = DiagnosticCache(args.cache_dir)
+    cache.open([], [])  # fingerprints don't matter for the deps map
+    deps = cache.deps_map()
+    if not deps:
+        print(
+            "repro.lint: --changed: cold cache (no dependency map); "
+            "linting everything",
+            file=sys.stderr,
+        )
+        return None
+    known = {os.path.normpath(p) for p in deps}
+    normalized = {os.path.normpath(p) for p in changed}
+    scope = set(changed)
+    dependents = cache.reverse_dependents(
+        {p for p in deps if os.path.normpath(p) in normalized}
+    )
+    scope.update(dependents)
+    # Changed files outside the scanned roots (e.g. a new script) still
+    # lint individually even though the deps map has never seen them.
+    scope.update(p for p in changed if os.path.normpath(p) not in known)
+    return sorted(scope)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "hotpaths":
+        from repro.analysis.perfmodel.cli import hotpaths_main
+
+        return hotpaths_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -126,7 +225,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule}: {get_checker(rule).description}")
         return EXIT_CLEAN
 
+    if args.changed and args.paths:
+        print(
+            "repro.lint: error: --changed and explicit paths are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
     paths = args.paths or default_roots()
+    if args.changed:
+        scope = _changed_scope(args)
+        if scope is not None:
+            if not scope:
+                print("no changed python files")
+                return EXIT_CLEAN
+            paths = scope
     if not paths:
         parser.print_usage(sys.stderr)
         print(

@@ -153,8 +153,10 @@ def _pool_check_file(args: tuple[str, list[str]]) -> list[Diagnostic]:
     global _WORKER_ENGINE, _WORKER_RULES
     path, rules = args
     if _WORKER_ENGINE is None or _WORKER_RULES != rules:
-        _WORKER_ENGINE = LintEngine(rules)
-        _WORKER_RULES = rules
+        # Deliberate per-process memo: each pool worker keeps one warm
+        # engine; the parent never reads these globals back.
+        _WORKER_ENGINE = LintEngine(rules)  # lint: disable=fork-safety
+        _WORKER_RULES = rules  # lint: disable=fork-safety
     return _WORKER_ENGINE.check_file(path)
 
 
@@ -234,38 +236,54 @@ class LintEngine:
         need_project = project_phase and bool(self.project_checkers)
 
         if self.cache is not None:
-            self.cache.open(sorted(c.rule for c in self.file_checkers))
+            self.cache.open(
+                sorted(c.rule for c in self.file_checkers),
+                sorted(c.rule for c in self.project_checkers),
+            )
 
+        digests: dict[str, str] = {}
+        raws: dict[str, bytes] = {}
         pending: list[tuple[str, str, bytes]] = []  # (path, digest, raw)
         with span("lint.scan", files=len(files)):
             for path in files:
                 with open(path, "rb") as fh:
                     raw = fh.read()
-                digest = source_digest(raw)
-                cached = (
-                    self.cache.lookup(path, digest)
-                    if self.cache is not None and file_phase
-                    else None
-                )
-                if cached is not None:
-                    found.extend(cached)
-                    if need_project:
-                        ctx = self._parse_context(path, raw)
-                        if ctx is not None:
-                            contexts.append(ctx)
-                else:
-                    pending.append((path, digest, raw))
+                digests[path] = source_digest(raw)
+                raws[path] = raw
+
+        # A project snapshot whose whole path->digest map matches skips
+        # the ProjectContext build entirely; one changed file discards
+        # it, re-running every project pass (transitive invalidation).
+        project_cached: list[Diagnostic] | None = None
+        if need_project and self.cache is not None:
+            project_cached = self.cache.lookup_project(digests)
+        build_project = need_project and project_cached is None
+
+        for path in files:
+            cached = (
+                self.cache.lookup(path, digests[path])
+                if self.cache is not None and file_phase
+                else None
+            )
+            if cached is not None:
+                found.extend(cached)
+                if build_project:
+                    ctx = self._parse_context(path, raws[path])
+                    if ctx is not None:
+                        contexts.append(ctx)
+            else:
+                pending.append((path, digests[path], raws[path]))
 
         with span("lint.file-checks", pending=len(pending), jobs=jobs):
             if pending and file_phase and jobs > 1:
-                found.extend(self._run_pool(pending, jobs, need_project, contexts))
+                found.extend(self._run_pool(pending, jobs, build_project, contexts))
             else:
                 for path, digest, raw in pending:
                     ctx = self._parse_context(path, raw)
                     if ctx is None:
                         diags = [self._syntax_for(path, raw)]
                     else:
-                        if need_project:
+                        if build_project:
                             contexts.append(ctx)
                         diags = self._check_context(ctx) if file_phase else []
                     if file_phase:
@@ -275,7 +293,13 @@ class LintEngine:
 
         if need_project:
             with span("lint.project", modules=len(contexts)):
-                found.extend(self._run_project(contexts))
+                if project_cached is not None:
+                    found.extend(project_cached)
+                else:
+                    project_diags = self._run_project(contexts)
+                    found.extend(project_diags)
+                    if self.cache is not None:
+                        self.cache.store_project(digests, project_diags)
         if self.cache is not None:
             self.cache.flush()
         return sorted(found, key=sort_key)
@@ -284,7 +308,7 @@ class LintEngine:
         self,
         pending: list[tuple[str, str, bytes]],
         jobs: int,
-        need_project: bool,
+        build_project: bool,
         contexts: list[FileContext],
     ) -> list[Diagnostic]:
         """Check ``pending`` files on a process pool; fall back serially."""
@@ -303,7 +327,7 @@ class LintEngine:
             found.extend(diags)
             if self.cache is not None:
                 self.cache.store(path, digest, diags)
-            if need_project:
+            if build_project:
                 ctx = self._parse_context(path, raw)
                 if ctx is not None:
                     contexts.append(ctx)
@@ -341,6 +365,8 @@ class LintEngine:
         from repro.analysis.flow.project import ProjectContext
 
         project = ProjectContext(sorted(contexts, key=lambda c: c.path))
+        if self.cache is not None:
+            self.cache.store_deps(_import_deps(project))
         tables = {ctx.path: ctx.suppressions for ctx in contexts}
         found: list[Diagnostic] = []
         for checker in self.project_checkers:
@@ -350,3 +376,23 @@ class LintEngine:
                     continue
                 found.append(diag)
         return found
+
+
+def _import_deps(project: "Any") -> dict[str, list[str]]:
+    """Project-internal import edges as a ``path -> [dep paths]`` map.
+
+    An import of ``m.C`` depends on module ``m``; targets outside the
+    scanned file set contribute no edge.  ``repro.lint --changed``
+    inverts this map to find the reverse-dependent closure of a diff.
+    """
+    deps: dict[str, list[str]] = {}
+    for _, mod in sorted(project.modules.items()):
+        targets: set[str] = set()
+        for dotted in mod.imports.values():
+            dep = project.modules_by_name.get(dotted)
+            if dep is None and "." in dotted:
+                dep = project.modules_by_name.get(dotted.rsplit(".", 1)[0])
+            if dep is not None and dep.path != mod.path:
+                targets.add(dep.path)
+        deps[mod.path] = sorted(targets)
+    return deps

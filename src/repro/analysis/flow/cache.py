@@ -8,6 +8,20 @@ document under ``.repro-lint-cache/`` (CI restores the directory keyed
 on the source-tree hash); a version stamp and a fingerprint of the
 active per-file rules invalidate it wholesale when the engine or the
 rule set changes.
+
+Two more sections ride the same document:
+
+* a **project snapshot** — the full ``path -> digest`` map of the last
+  project-phase run plus its (post-suppression) diagnostics.  A run
+  whose file set and every digest match replays the project passes
+  without building a :class:`ProjectContext`; *any* changed file
+  invalidates the whole snapshot, which is exactly the transitive
+  semantics project passes need (editing a callee must re-lint its
+  callers).
+* a **dependency map** — per file, the project-internal files its
+  imports resolve to, recorded while the project context is live.
+  ``repro.lint --changed`` inverts it to find the reverse-dependent
+  closure of a git diff.
 """
 
 from __future__ import annotations
@@ -20,7 +34,7 @@ from dataclasses import dataclass, field
 from repro.analysis.diagnostics import Diagnostic, Severity
 
 #: Bump when the cache layout (or any checker semantics) changes.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 _CACHE_FILE = "file-diagnostics.json"
 
@@ -33,10 +47,28 @@ def rules_fingerprint(rules: list[str]) -> str:
     return hashlib.sha256(",".join(sorted(rules)).encode()).hexdigest()[:16]
 
 
+def _decode_diags(records: list[dict]) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            path=record["path"],
+            line=int(record["line"]),
+            col=int(record["col"]),
+            rule=record["rule"],
+            message=record["message"],
+            severity=Severity[record["severity"].upper()],
+            symbol=record.get("symbol", ""),
+        )
+        for record in records
+    ]
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
     misses: int = 0
+    #: Project-phase snapshot outcomes (at most one per run).
+    project_hits: int = 0
+    project_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -53,29 +85,43 @@ class DiagnosticCache:
 
     directory: str
     _entries: dict[str, dict] = field(default_factory=dict)
+    _project: dict | None = None
+    _deps: dict[str, list[str]] = field(default_factory=dict)
     _fingerprint: str = ""
+    _project_fingerprint: str = ""
     _dirty: bool = False
     stats: CacheStats = field(default_factory=CacheStats)
 
-    def open(self, rules: list[str]) -> None:
-        """Load the cache file, discarding it on any mismatch."""
+    def open(self, rules: list[str], project_rules: list[str] | None = None) -> None:
+        """Load the cache file, discarding sections on any mismatch."""
         self._fingerprint = rules_fingerprint(rules)
+        self._project_fingerprint = rules_fingerprint(project_rules or [])
         self._entries = {}
+        self._project = None
+        self._deps = {}
         path = os.path.join(self.directory, _CACHE_FILE)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
         except (OSError, ValueError):
             return
-        if (
-            payload.get("version") != CACHE_VERSION
-            or payload.get("rules_fingerprint") != self._fingerprint
-        ):
+        if payload.get("version") != CACHE_VERSION:
             return
-        entries = payload.get("files")
-        if isinstance(entries, dict):
-            self._entries = entries
+        if payload.get("rules_fingerprint") == self._fingerprint:
+            entries = payload.get("files")
+            if isinstance(entries, dict):
+                self._entries = entries
+        project = payload.get("project")
+        if (
+            isinstance(project, dict)
+            and project.get("rules_fingerprint") == self._project_fingerprint
+        ):
+            self._project = project
+        deps = payload.get("deps")
+        if isinstance(deps, dict):
+            self._deps = {str(k): list(v) for k, v in deps.items()}
 
+    # -- per-file section ----------------------------------------------
     def lookup(self, path: str, digest: str) -> list[Diagnostic] | None:
         """Cached diagnostics for ``path`` at ``digest``, else None."""
         entry = self._entries.get(path)
@@ -83,20 +129,7 @@ class DiagnosticCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        diags: list[Diagnostic] = []
-        for record in entry.get("diagnostics", []):
-            diags.append(
-                Diagnostic(
-                    path=record["path"],
-                    line=int(record["line"]),
-                    col=int(record["col"]),
-                    rule=record["rule"],
-                    message=record["message"],
-                    severity=Severity[record["severity"].upper()],
-                    symbol=record.get("symbol", ""),
-                )
-            )
-        return diags
+        return _decode_diags(entry.get("diagnostics", []))
 
     def store(self, path: str, digest: str, diags: list[Diagnostic]) -> None:
         self._entries[path] = {
@@ -104,6 +137,57 @@ class DiagnosticCache:
             "diagnostics": [d.to_json() for d in diags],
         }
         self._dirty = True
+
+    # -- project snapshot ----------------------------------------------
+    def lookup_project(self, digests: dict[str, str]) -> list[Diagnostic] | None:
+        """Project-pass diagnostics if the *entire* file set is unchanged.
+
+        The key is the full ``path -> digest`` map: one edited, added or
+        removed file invalidates the snapshot, so a stale callee can
+        never keep its callers' project findings alive.
+        """
+        snap = self._project
+        if snap is None or snap.get("files") != digests:
+            self.stats.project_misses += 1
+            return None
+        self.stats.project_hits += 1
+        return _decode_diags(snap.get("diagnostics", []))
+
+    def store_project(
+        self, digests: dict[str, str], diags: list[Diagnostic]
+    ) -> None:
+        self._project = {
+            "rules_fingerprint": self._project_fingerprint,
+            "files": dict(digests),
+            "diagnostics": [d.to_json() for d in diags],
+        }
+        self._dirty = True
+
+    # -- dependency map ------------------------------------------------
+    def store_deps(self, deps: dict[str, list[str]]) -> None:
+        """Record the project-internal import edges (path -> dep paths)."""
+        self._deps = {path: sorted(set(targets)) for path, targets in deps.items()}
+        self._dirty = True
+
+    def deps_map(self) -> dict[str, list[str]]:
+        """The recorded import edges (empty when the cache is cold)."""
+        return {path: list(targets) for path, targets in self._deps.items()}
+
+    def reverse_dependents(self, paths: set[str]) -> set[str]:
+        """Transitive closure of files importing anything in ``paths``."""
+        importers: dict[str, set[str]] = {}
+        for src, targets in self._deps.items():
+            for target in targets:
+                importers.setdefault(target, set()).add(src)
+        out: set[str] = set()
+        work = sorted(paths)
+        while work:
+            current = work.pop()
+            for dep in sorted(importers.get(current, ())):
+                if dep not in out and dep not in paths:
+                    out.add(dep)
+                    work.append(dep)
+        return out
 
     def flush(self) -> None:
         """Persist to disk (best-effort: a read-only FS never fails a run)."""
@@ -113,6 +197,8 @@ class DiagnosticCache:
             "version": CACHE_VERSION,
             "rules_fingerprint": self._fingerprint,
             "files": self._entries,
+            "project": self._project,
+            "deps": self._deps,
         }
         try:
             os.makedirs(self.directory, exist_ok=True)

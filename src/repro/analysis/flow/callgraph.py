@@ -57,12 +57,18 @@ class CallGraph:
         self.modules = modules
         self.functions: dict[str, FunctionNode] = {}
         self._emit_reach: dict[str, bool] | None = None
+        # Two phases: register every node first, then resolve edges —
+        # resolution consults self.functions, so a single interleaved
+        # pass would drop edges into modules not yet scanned.
+        owners: list[tuple[ModuleInfo, ClassInfo | None, FunctionNode]] = []
         for mod in modules.values():
             for func in mod.functions.values():
-                self._add_function(mod, None, func)
+                owners.append((mod, None, self._add_function(mod, None, func)))
             for cls in mod.classes.values():
                 for method in cls.methods.values():
-                    self._add_function(mod, cls, method)
+                    owners.append((mod, cls, self._add_function(mod, cls, method)))
+        for mod, cls, node in owners:
+            self._resolve_edges(mod, cls, node)
 
     # -- construction --------------------------------------------------
     def _add_function(
@@ -70,18 +76,9 @@ class CallGraph:
         mod: ModuleInfo,
         cls: ClassInfo | None,
         func: ast.FunctionDef | ast.AsyncFunctionDef,
-    ) -> None:
+    ) -> FunctionNode:
         qual = f"{mod.name}.{cls.name}.{func.name}" if cls else f"{mod.name}.{func.name}"
         node = FunctionNode(qualname=qual, node=func, module=mod.name, cls=cls.name if cls else None)
-        for call in ast.walk(func):
-            if not isinstance(call, ast.Call):
-                continue
-            fn = call.func
-            if isinstance(fn, ast.Attribute) and fn.attr == "emit":
-                node.contains_emit = True
-            callee = self._resolve_call(mod, cls, fn)
-            if callee is not None:
-                node.calls.append(callee)
         for stmt in ast.walk(func):
             targets: list[ast.expr] = []
             if isinstance(stmt, ast.Assign):
@@ -97,6 +94,20 @@ class CallGraph:
                 ):
                     node.writes_self_attrs.add(tgt.attr)
         self.functions[qual] = node
+        return node
+
+    def _resolve_edges(
+        self, mod: ModuleInfo, cls: ClassInfo | None, node: FunctionNode
+    ) -> None:
+        for call in ast.walk(node.node):
+            if not isinstance(call, ast.Call):
+                continue
+            fn = call.func
+            if isinstance(fn, ast.Attribute) and fn.attr == "emit":
+                node.contains_emit = True
+            callee = self._resolve_call(mod, cls, fn)
+            if callee is not None:
+                node.calls.append(callee)
 
     def _resolve_call(
         self, mod: ModuleInfo, cls: ClassInfo | None, fn: ast.expr

@@ -1,0 +1,66 @@
+"""Static performance/concurrency tier over the project analysis layer.
+
+Four pieces, all riding the shared :class:`ProjectContext`:
+
+* :mod:`~repro.analysis.perfmodel.costmodel` — loop-depth-weighted
+  static cost model from the simulator entry points;
+* :mod:`~repro.analysis.perfmodel.hotloop` — the ``hot-loop-alloc``
+  lint pass (allocation/dispatch churn on statically-hot paths);
+* :mod:`~repro.analysis.perfmodel.forksafety` — the ``pickle-safety``
+  and ``fork-safety`` passes for code crossing the process pool;
+* :mod:`~repro.analysis.perfmodel.vectorize` /
+  :mod:`~repro.analysis.perfmodel.spanvalidate` — the report side:
+  struct-of-arrays readiness and cross-validation of the static
+  ranking against measured ``repro perf`` spans
+  (``repro lint hotpaths``).
+"""
+
+from repro.analysis.perfmodel.costmodel import (
+    HOT_RANK_THRESHOLD,
+    LOOP_WEIGHT,
+    CostModel,
+    FunctionCost,
+    default_entry_points,
+    scan_function,
+)
+from repro.analysis.perfmodel.forksafety import (
+    ForkSafetyChecker,
+    PickleSafetyChecker,
+    iter_pool_sites,
+    worker_reachable,
+)
+from repro.analysis.perfmodel.hotloop import HotLoopAllocChecker
+from repro.analysis.perfmodel.spanvalidate import (
+    SPAN_FUNCTION_MAP,
+    ValidationReport,
+    measured_durations,
+    spearman,
+    validate_against_trace,
+)
+from repro.analysis.perfmodel.vectorize import (
+    VectorizabilityReport,
+    classify_function,
+    classify_hot_functions,
+)
+
+__all__ = [
+    "HOT_RANK_THRESHOLD",
+    "LOOP_WEIGHT",
+    "CostModel",
+    "FunctionCost",
+    "default_entry_points",
+    "scan_function",
+    "ForkSafetyChecker",
+    "PickleSafetyChecker",
+    "iter_pool_sites",
+    "worker_reachable",
+    "HotLoopAllocChecker",
+    "SPAN_FUNCTION_MAP",
+    "ValidationReport",
+    "measured_durations",
+    "spearman",
+    "validate_against_trace",
+    "VectorizabilityReport",
+    "classify_function",
+    "classify_hot_functions",
+]

@@ -1,0 +1,227 @@
+"""``repro lint hotpaths`` — the static cost-model report.
+
+Three sections, text or JSON:
+
+* **ranking** — the top-N functions by loop-depth-weighted static cost,
+  with call scores and inclusive costs
+  (:mod:`repro.analysis.perfmodel.costmodel`);
+* **vectorizability** — the struct-of-arrays worklist for the numpy
+  backend: which ranked functions translate mechanically and which
+  carry blockers (:mod:`repro.analysis.perfmodel.vectorize`);
+* **validation** (``--validate-spans trace.json``) — Spearman rank
+  correlation of the static ranking against measured span durations
+  from a ``repro perf`` Chrome trace; ``--min-correlation`` turns the
+  report into a gate.
+
+Exit codes match the lint front end: 0 clean, 1 when a
+``--min-correlation`` gate fails, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.engine import (
+    DEFAULT_ROOTS,
+    LintEngine,
+    default_roots,
+    iter_python_files,
+)
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.perfmodel.costmodel import CostModel
+from repro.analysis.perfmodel.spanvalidate import validate_against_trace
+from repro.analysis.perfmodel.vectorize import classify_hot_functions
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint hotpaths",
+        description="Static hot-path cost model: ranking, vectorizability, "
+        "and cross-validation against measured perf spans.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the src/tests/"
+        "benchmarks/examples roots that exist here)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="ranking length (default: 10)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--validate-spans",
+        default=None,
+        metavar="TRACE",
+        help="Chrome trace JSON from `repro perf` to cross-validate the "
+        "static ranking against",
+    )
+    parser.add_argument(
+        "--min-correlation",
+        type=float,
+        default=None,
+        metavar="R",
+        help="fail (exit 1) when the measured-vs-static rank correlation "
+        "drops below R",
+    )
+    return parser
+
+
+def build_project(paths: Sequence[str]) -> ProjectContext:
+    """Parse every .py under ``paths`` into one ProjectContext."""
+    engine = LintEngine([])
+    contexts = []
+    for path in iter_python_files(paths):
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        ctx = engine._parse_context(path, raw)
+        if ctx is not None:
+            contexts.append(ctx)
+    return ProjectContext(sorted(contexts, key=lambda c: c.path))
+
+
+def _text_report(payload: dict) -> str:
+    lines: list[str] = []
+    lines.append(
+        f"hot-path ranking (top {len(payload['ranking'])}, "
+        f"loop weight {payload['loop_weight']:g}, entry points: "
+        + (", ".join(payload["entry_points"]) or "none")
+        + ")"
+    )
+    for i, cost in enumerate(payload["ranking"], 1):
+        lines.append(
+            f"{i:3d}. {cost['qualname']}  total={cost['total_cost']:.0f} "
+            f"(score={cost['call_score']:.0f} local={cost['local_cost']:.0f} "
+            f"inclusive={cost['inclusive_cost']:.0f})"
+        )
+    lines.append("")
+    lines.append("vectorizability worklist:")
+    for rep in payload["vectorizability"]:
+        if rep["vectorizable"]:
+            lines.append(f"  ready    {rep['qualname']}")
+        else:
+            lines.append(f"  blocked  {rep['qualname']}")
+            for blk in rep["blockers"]:
+                lines.append(
+                    f"           line {blk['line']}: {blk['kind']} — {blk['detail']}"
+                )
+    validation = payload.get("validation")
+    if validation is not None:
+        lines.append("")
+        lines.append(
+            f"span validation: rank correlation {validation['correlation']:.3f} "
+            f"over {len(validation['pairs'])} matched function(s)"
+        )
+        for pair in validation["pairs"]:
+            lines.append(
+                f"  measured #{pair['measured_rank']} / static "
+                f"#{pair['static_rank']}  {pair['qualname']} "
+                f"({pair['measured_us']:.0f} us vs cost "
+                f"{pair['static_cost']:.0f})"
+            )
+        if validation["unmatched_spans"]:
+            lines.append(
+                "  unmatched spans: " + ", ".join(validation["unmatched_spans"])
+            )
+    return "\n".join(lines)
+
+
+def hotpaths_main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    paths = args.paths or default_roots()
+    if not paths:
+        parser.print_usage(sys.stderr)
+        print(
+            "repro.lint hotpaths: error: no paths given and no default "
+            f"roots ({'/'.join(DEFAULT_ROOTS)}) here",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    try:
+        project = build_project(paths)
+    except FileNotFoundError as exc:
+        print(f"repro.lint hotpaths: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    model = CostModel(project)
+    payload: dict = {
+        "loop_weight": model.loop_weight,
+        "entry_points": model.entry_points,
+        "ranking": [c.to_dict() for c in model.ranking(args.top)],
+        "vectorizability": [
+            r.to_dict() for r in classify_hot_functions(project, model, args.top)
+        ],
+    }
+
+    if args.validate_spans is not None:
+        try:
+            with open(args.validate_spans, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(
+                f"repro.lint hotpaths: error: bad trace "
+                f"{args.validate_spans!r}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        report = validate_against_trace(project, doc, model=model)
+        payload["validation"] = report.to_dict()
+
+    out = (
+        json.dumps(payload, indent=2, sort_keys=True)
+        if args.format == "json"
+        else _text_report(payload)
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(out + "\n")
+    else:
+        print(out)
+
+    if args.min_correlation is not None:
+        validation = payload.get("validation")
+        if validation is None:
+            print(
+                "repro.lint hotpaths: error: --min-correlation needs "
+                "--validate-spans",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        if validation["correlation"] < args.min_correlation:
+            print(
+                f"repro.lint hotpaths: correlation "
+                f"{validation['correlation']:.3f} below the "
+                f"--min-correlation gate {args.min_correlation:g}",
+                file=sys.stderr,
+            )
+            return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(hotpaths_main())

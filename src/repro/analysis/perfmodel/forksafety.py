@@ -1,0 +1,423 @@
+"""``pickle-safety`` / ``fork-safety`` — code crossing the process pool.
+
+``repro.harness.parallel`` (and the lint engine's own ``--jobs`` pool)
+ship callables and arguments into worker processes.  Two pass families
+check, statically, that what crosses the boundary survives it:
+
+* **pickle-safety** inspects every pool submission site —
+  ``pool.submit(f, ...)``, ``pool.map(f, ...)`` and
+  ``Executor(initializer=f, ...)`` keywords — and requires the
+  submitted callable to be a module-level function (lambdas and nested
+  ``def``\\ s cannot be pickled under the ``spawn`` start method; bound
+  methods drag their whole instance through the pickle).  Arguments
+  whose reaching definition is an ``open(...)`` handle or a
+  ``threading`` lock are flagged too: both are either unpicklable or
+  silently duplicated across the fork.
+
+* **fork-safety** computes the *worker-reachable* set — the call-graph
+  closure of every submitted callable and initializer — and flags
+  state that diverges between parent and children: ``global``
+  declarations that are written, mutation of module-level containers
+  (each worker mutates its own copy; the parent never sees it), and
+  process-global RNG use (``random.random`` et al. — fork inherits the
+  RNG state, so every worker draws the identical "random" stream).
+
+Deliberate per-process memo caches (a worker warming its own
+``run_sim`` cache) are the accepted exception: suppress at the mutation
+site with ``# lint: disable=fork-safety`` and a reason comment, so
+every exception stays visible in the file that owns it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.cfg import bound_names, stmt_defs
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.flow.symbols import ClassInfo, ModuleInfo
+from repro.analysis.registry import ProjectChecker, register
+
+#: Attribute names treated as pool submission methods.
+_SUBMIT_ATTRS = frozenset({"submit", "map"})
+
+#: Mutator method names on module-level containers.
+_MUTATOR_ATTRS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "clear",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+    }
+)
+
+#: Callables whose results must not cross the fork as arguments.
+_HANDLE_FACTORIES = frozenset({"open", "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+
+@dataclass(frozen=True)
+class PoolSite:
+    """One place a callable is handed to a process pool."""
+
+    module: ModuleInfo
+    cls: ClassInfo | None
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    call: ast.Call
+    callable_expr: ast.expr
+    kind: str  # "submit" | "map" | "initializer"
+
+
+def iter_pool_sites(project: ProjectContext) -> Iterator[PoolSite]:
+    """Every pool submission site in the project, in deterministic order."""
+    for mod, cls, func in project.iter_functions():
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in _SUBMIT_ATTRS
+                and node.args
+            ):
+                yield PoolSite(mod, cls, func, node, node.args[0], fn.attr)
+            for kw in node.keywords:
+                if kw.arg == "initializer":
+                    yield PoolSite(mod, cls, func, node, kw.value, "initializer")
+
+
+def _nested_def_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names of ``def``\\ s nested anywhere inside ``func``."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if node is not func and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return names
+
+
+def resolve_submitted(project: ProjectContext, site: PoolSite) -> str | None:
+    """Qualname of the submitted callable when it is a module-level
+    project function, else None (lambdas/nested defs are diagnosed
+    separately; foreign functions are out of analysis scope)."""
+    expr = site.callable_expr
+    if not isinstance(expr, ast.Name):
+        return None
+    mod = site.module
+    if expr.id in mod.functions:
+        return f"{mod.name}.{expr.id}"
+    target = mod.imports.get(expr.id)
+    if target is not None and target in project.call_graph.functions:
+        return target
+    return None
+
+
+def _module_level_names(mod: ModuleInfo) -> set[str]:
+    """Names bound by module-level assignments (the fork-shared state)."""
+    names: set[str] = set()
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                names |= bound_names(tgt)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            names |= bound_names(stmt.target)
+    return names
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound anywhere in ``func`` (params + assignments)."""
+    args = func.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt):
+            names |= stmt_defs(node)
+    return names
+
+
+def worker_reachable(project: ProjectContext) -> dict[str, str]:
+    """Worker-reachable qualname -> the root that reaches it."""
+    graph = project.call_graph
+    roots: list[str] = []
+    for site in iter_pool_sites(project):
+        qual = resolve_submitted(project, site)
+        if qual is not None:
+            roots.append(qual)
+    reached: dict[str, str] = {}
+    for root in sorted(set(roots)):
+        stack = [root]
+        while stack:
+            qual = stack.pop()
+            if qual in reached:
+                continue
+            reached[qual] = root
+            stack.extend(sorted(graph.callees(qual)))
+    return reached
+
+
+@register
+class PickleSafetyChecker(ProjectChecker):
+    rule = "pickle-safety"
+    description = "pool-submitted callables must be module-level and picklable"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for site in iter_pool_sites(project):
+            yield from self._check_site(project, site)
+
+    def _check_site(
+        self, project: ProjectContext, site: PoolSite
+    ) -> Iterator[Diagnostic]:
+        expr = site.callable_expr
+        where = (
+            f"{site.kind}= of" if site.kind == "initializer" else f".{site.kind}() in"
+        )
+        owner = f"{site.cls.name}.{site.func.name}" if site.cls else site.func.name
+        if isinstance(expr, ast.Lambda):
+            yield self._diag(
+                site,
+                expr,
+                f"lambda passed to pool {where} {owner} cannot be pickled "
+                "under the spawn start method; submit a module-level "
+                "function instead",
+                Severity.ERROR,
+            )
+        elif isinstance(expr, ast.Name):
+            if expr.id in _nested_def_names(site.func):
+                yield self._diag(
+                    site,
+                    expr,
+                    f"nested function {expr.id!r} passed to pool {where} "
+                    f"{owner} cannot be pickled (its closure does not cross "
+                    "the process boundary); hoist it to module level",
+                    Severity.ERROR,
+                )
+        elif isinstance(expr, ast.Attribute) and not (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id in site.module.imports
+        ):
+            yield self._diag(
+                site,
+                expr,
+                f"bound method {ast.unparse(expr)!r} passed to pool {where} "
+                f"{owner} pickles its whole instance into every task; "
+                "submit a module-level function taking the needed fields",
+                Severity.WARNING,
+            )
+        yield from self._check_handle_args(project, site)
+
+    def _check_handle_args(
+        self, project: ProjectContext, site: PoolSite
+    ) -> Iterator[Diagnostic]:
+        """Arguments whose reaching definition is a handle/lock factory."""
+        flow = project.flow(site.func)
+        anchor = self._enclosing_stmt(flow.nodes, site.call)
+        if anchor is None:
+            return
+        reaching = flow.reaching_in(anchor)
+        for arg in list(site.call.args[1:]) + [
+            kw.value for kw in site.call.keywords if kw.arg == "initargs"
+        ]:
+            for name_node in ast.walk(arg):
+                if not (
+                    isinstance(name_node, ast.Name)
+                    and isinstance(name_node.ctx, ast.Load)
+                ):
+                    continue
+                for def_stmt in reaching.get(name_node.id, []):
+                    value = (
+                        flow.assigned_value(def_stmt, name_node.id)
+                        if isinstance(def_stmt, (ast.Assign, ast.AnnAssign))
+                        else None
+                    )
+                    factory = self._handle_factory(value)
+                    if factory is not None:
+                        yield self._diag(
+                            site,
+                            name_node,
+                            f"argument {name_node.id!r} holds a {factory}() "
+                            "result; file handles and locks do not survive "
+                            "the process boundary — open/create them inside "
+                            "the worker instead",
+                            Severity.WARNING,
+                        )
+                        break
+
+    @staticmethod
+    def _handle_factory(value: ast.expr | None) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        fn = value.func
+        name = None
+        if isinstance(fn, ast.Name):
+            name = fn.id
+        elif isinstance(fn, ast.Attribute):
+            name = fn.attr
+        return name if name in _HANDLE_FACTORIES else None
+
+    @staticmethod
+    def _enclosing_stmt(nodes: list[ast.stmt], call: ast.Call) -> ast.stmt | None:
+        """Innermost CFG statement whose source span contains ``call``."""
+        best: ast.stmt | None = None
+        best_span = None
+        for stmt in nodes:
+            end = getattr(stmt, "end_lineno", stmt.lineno)
+            if stmt.lineno <= call.lineno <= end:
+                span = end - stmt.lineno
+                if best_span is None or span <= best_span:
+                    best, best_span = stmt, span
+        return best
+
+    def _diag(
+        self, site: PoolSite, node: ast.AST, message: str, severity: Severity
+    ) -> Diagnostic:
+        owner = f"{site.cls.name}.{site.func.name}" if site.cls else site.func.name
+        return Diagnostic(
+            path=site.module.path,
+            line=getattr(node, "lineno", site.call.lineno),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            severity=severity,
+            symbol=f"{site.module.name}.{owner}",
+        )
+
+
+@register
+class ForkSafetyChecker(ProjectChecker):
+    rule = "fork-safety"
+    description = "worker-reachable code must not mutate fork-shared state"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        reached = worker_reachable(project)
+        graph = project.call_graph
+        module_names: dict[str, set[str]] = {}
+        for qual in sorted(reached):
+            node = graph.functions.get(qual)
+            if node is None:
+                continue
+            mod = project.modules_by_name.get(node.module)
+            if mod is None:
+                continue
+            if node.module not in module_names:
+                module_names[node.module] = _module_level_names(mod)
+            yield from self._check_function(
+                mod, qual, node.node, module_names[node.module], reached[qual]
+            )
+
+    def _check_function(
+        self,
+        mod: ModuleInfo,
+        qual: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        module_level: set[str],
+        root: str,
+    ) -> Iterator[Diagnostic]:
+        locals_ = _local_names(func)
+        declared_global: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global |= set(node.names)
+        shared = (module_level | declared_global) - (locals_ - declared_global)
+
+        for node in ast.walk(func):
+            # global X; X = ... — rebinding a module global in a worker.
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for tgt in targets:
+                    if isinstance(tgt, ast.Name) and tgt.id in declared_global:
+                        yield self._diag(
+                            mod,
+                            node,
+                            qual,
+                            f"writes module global {tgt.id!r} in worker-"
+                            f"reachable code (reached from {root}); the "
+                            "parent process never observes the write — pass "
+                            "state explicitly or suppress a deliberate "
+                            "per-process memo with a reason",
+                        )
+                    # X[...] = ... on a module-level container.
+                    base = tgt
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if (
+                        base is not tgt
+                        and isinstance(base, ast.Name)
+                        and base.id in shared
+                    ):
+                        yield self._diag(
+                            mod,
+                            node,
+                            qual,
+                            f"stores into module-level container {base.id!r} "
+                            f"in worker-reachable code (reached from {root}); "
+                            "each worker mutates its own copy — return the "
+                            "value instead or suppress a deliberate "
+                            "per-process memo with a reason",
+                        )
+            # X.append(...)/X.update(...) on a module-level container.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_ATTRS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in shared
+            ):
+                yield self._diag(
+                    mod,
+                    node,
+                    qual,
+                    f"mutates module-level container "
+                    f"{node.func.value.id!r} via .{node.func.attr}() in "
+                    f"worker-reachable code (reached from {root}); each "
+                    "worker mutates its own copy — return the value instead",
+                )
+            # Process-global RNG draws.
+            rng = self._global_rng_call(mod, node)
+            if rng is not None:
+                yield self._diag(
+                    mod,
+                    node,
+                    qual,
+                    f"calls process-global RNG {rng} in worker-reachable "
+                    f"code (reached from {root}); forked workers inherit "
+                    "identical RNG state — use a seeded per-task "
+                    "random.Random instance",
+                )
+
+    @staticmethod
+    def _global_rng_call(mod: ModuleInfo, node: ast.AST) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        fn = node.func
+        if (
+            isinstance(fn, ast.Attribute)
+            and isinstance(fn.value, ast.Name)
+            and mod.imports.get(fn.value.id) == "random"
+        ):
+            return f"random.{fn.attr}"
+        if isinstance(fn, ast.Name):
+            target = mod.imports.get(fn.id, "")
+            if target.startswith("random.") and target != "random.Random":
+                return target
+        return None
+
+    def _diag(self, mod: ModuleInfo, node: ast.AST, qual: str, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=mod.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            severity=Severity.WARNING,
+            symbol=qual,
+        )

@@ -1,0 +1,148 @@
+"""``hot-loop-alloc`` — no allocation churn on statically-hot paths.
+
+CPython makes every list/dict/set display, comprehension, f-string and
+``isinstance``/``getattr`` call a heap allocation or a dynamic lookup;
+inside the simulator's per-cycle loops those costs multiply by millions
+of iterations.  This pass combines the loop-depth-weighted cost model
+(:mod:`repro.analysis.perfmodel.costmodel`) with a syntactic scan: a
+construct is flagged when its *static rank* — the enclosing function's
+call score times ``LOOP_WEIGHT`` per local loop level — reaches
+:data:`~repro.analysis.perfmodel.costmodel.HOT_RANK_THRESHOLD`
+(two weighted loop levels, e.g. a loop body inside a function called
+once per simulated cycle).
+
+Code that is not reachable from the cycle loop or a benchmark factory
+has call score 0 and is never flagged, so tests, reporting and offline
+analysis stay free to allocate.  A deliberate hot-path allocation
+(e.g. building the per-cycle issue list that the algorithm itself
+requires) takes an inline ``# lint: disable=hot-loop-alloc`` with a
+reason comment, keeping each exception visible at the allocation site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.perfmodel.costmodel import (
+    HOT_RANK_THRESHOLD,
+    CostModel,
+)
+from repro.analysis.registry import ProjectChecker, register
+
+#: Builtin calls that allocate a fresh container per evaluation.
+_ALLOC_BUILTINS = frozenset({"list", "dict", "set", "tuple", "sorted", "frozenset"})
+
+#: Dynamic type-dispatch builtins (a dict lookup + MRO walk per call).
+_DISPATCH_BUILTINS = frozenset({"isinstance", "getattr", "hasattr"})
+
+
+def _label_for(node: ast.AST) -> str | None:
+    """Human label of a churn construct, or None if the node is benign."""
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if isinstance(node, ast.GeneratorExp):
+        return "generator expression"
+    if isinstance(node, ast.List):
+        return "list display"
+    if isinstance(node, ast.Set):
+        return "set display"
+    if isinstance(node, ast.Dict):
+        return "dict display"
+    if isinstance(node, ast.JoinedStr):
+        return "f-string formatting"
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            if fn.id in _ALLOC_BUILTINS:
+                return f"{fn.id}() construction"
+            if fn.id in _DISPATCH_BUILTINS:
+                return f"{fn.id}() dispatch"
+        if isinstance(fn, ast.Attribute) and fn.attr == "format":
+            return "str.format() formatting"
+    return None
+
+
+def _iter_loop_constructs(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.AST, int, str]]:
+    """Every churn construct in ``func`` at local loop depth >= 1,
+    yielded as ``(node, depth, label)`` in source order."""
+
+    def walk(node: ast.AST, depth: int) -> Iterator[tuple[ast.AST, int, str]]:
+        if depth >= 1:
+            label = _label_for(node)
+            if label is not None:
+                yield node, depth, label
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from walk(node.iter, depth)
+            for child in node.body:
+                yield from walk(child, depth + 1)
+            for child in node.orelse:
+                yield from walk(child, depth)
+            return
+        if isinstance(node, ast.While):
+            yield from walk(node.test, depth + 1)
+            for child in node.body:
+                yield from walk(child, depth + 1)
+            for child in node.orelse:
+                yield from walk(child, depth)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in node.body:
+                yield from walk(child, depth)
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from walk(child, depth)
+
+    for stmt in func.body:
+        yield from walk(stmt, 0)
+
+
+@register
+class HotLoopAllocChecker(ProjectChecker):
+    rule = "hot-loop-alloc"
+    description = "no allocation/dispatch churn inside statically-hot loops"
+
+    #: Statement rank gate; overridable for tests.
+    threshold: float = HOT_RANK_THRESHOLD
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        model = CostModel(project)
+        if not model.entry_points:
+            return
+        graph = project.call_graph
+        for qual in sorted(graph.functions):
+            score = model.score_of(qual)
+            if score <= 0.0:
+                continue
+            node = graph.functions[qual]
+            mod = project.modules_by_name.get(node.module)
+            if mod is None:
+                continue
+            for construct, depth, label in _iter_loop_constructs(node.node):
+                rank = score * model.loop_weight**depth
+                if rank < self.threshold:
+                    continue
+                yield Diagnostic(
+                    path=mod.path,
+                    line=getattr(construct, "lineno", node.node.lineno),
+                    col=getattr(construct, "col_offset", 0),
+                    rule=self.rule,
+                    message=(
+                        f"{label} inside a hot loop of {qual} (static rank "
+                        f"{rank:.0f} >= {self.threshold:.0f}: reachable from "
+                        "the cycle loop / perf suite); hoist it out of the "
+                        "loop or suppress with a reason"
+                    ),
+                    severity=Severity.WARNING,
+                    symbol=f"{qual}:{label}",
+                )

@@ -1,0 +1,191 @@
+"""Cross-validation of the static cost model against measured spans.
+
+The cost model is only trustworthy if its ranking of hot functions
+agrees with what the profiler actually measures.  This module closes
+that loop: given a Chrome trace written by ``repro perf trace`` or
+``repro perf run --trace``, it aggregates measured span durations per
+span name, maps span names onto call-graph qualnames
+(:data:`SPAN_FUNCTION_MAP`), and reports the Spearman rank correlation
+between the static *inclusive cost* and the measured total time over
+the functions both sides know about.
+
+``repro lint hotpaths --validate-spans trace.json`` prints the paired
+ranking and the correlation; a large disagreement is itself a finding —
+either the model weights are off or the measured run exercised a path
+the model does not weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.perfmodel.costmodel import CostModel
+
+#: Span name -> call-graph qualname.  Stage spans come from
+#: :class:`repro.perf.spans.TracingProfiler` (the pipeline's six
+#: per-cycle laps); bench spans are named after their case and map to
+#: the factory whose closure the harness times.
+SPAN_FUNCTION_MAP: dict[str, str] = {
+    "cycle": "repro.core.pipeline.SMTPipeline.run",
+    "commit": "repro.core.pipeline.SMTPipeline._commit",
+    "writeback": "repro.core.pipeline.SMTPipeline._writeback",
+    "issue": "repro.core.pipeline.SMTPipeline._issue",
+    "dispatch": "repro.core.pipeline.SMTPipeline._dispatch",
+    "fetch": "repro.core.pipeline.SMTPipeline._fetch",
+    "tick": "repro.core.pipeline.SMTPipeline._tick_stats",
+    "pipeline_cycle_loop": "repro.perf.bench._make_pipeline_cycle_loop",
+    "issue_select": "repro.perf.bench._make_issue_select",
+    "dvm_interval": "repro.perf.bench._make_dvm_interval",
+    "resource_alloc": "repro.perf.bench._make_resource_alloc",
+    "lint_warm": "repro.perf.bench._make_lint_warm",
+    "parallel_sweep": "repro.perf.bench._make_parallel_sweep",
+}
+
+#: Span categories that carry measured code durations (decision/instant
+#: tracks are cycle-domain and excluded).
+_MEASURED_CATS = frozenset({"cycle", "stage", "bench", "perf"})
+
+
+@dataclass(frozen=True)
+class RankedPair:
+    """One function ranked by both the model and the measurement."""
+
+    qualname: str
+    span_name: str
+    measured_us: float
+    static_cost: float
+    measured_rank: int
+    static_rank: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "span_name": self.span_name,
+            "measured_us": self.measured_us,
+            "static_cost": self.static_cost,
+            "measured_rank": self.measured_rank,
+            "static_rank": self.static_rank,
+        }
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one static-vs-measured comparison."""
+
+    pairs: tuple[RankedPair, ...]
+    correlation: float
+    unmatched_spans: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "correlation": self.correlation,
+            "pairs": [p.to_dict() for p in self.pairs],
+            "unmatched_spans": list(self.unmatched_spans),
+        }
+
+
+def measured_durations(doc: Mapping[str, Any]) -> dict[str, float]:
+    """Total measured microseconds per span name in a trace document.
+
+    Only complete (``"X"``) events in a measured category count; the
+    cycle-domain decision tracks say nothing about code cost.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document has no traceEvents list")
+    totals: dict[str, float] = {}
+    for ev in events:
+        if not isinstance(ev, Mapping) or ev.get("ph") != "X":
+            continue
+        if ev.get("cat") not in _MEASURED_CATS:
+            continue
+        name = str(ev.get("name", ""))
+        totals[name] = totals.get(name, 0.0) + float(ev.get("dur", 0.0))
+    return totals
+
+
+def _average_ranks(values: list[float]) -> list[float]:
+    """Descending average ranks (1 = largest); ties share their mean."""
+    order = sorted(range(len(values)), key=lambda i: (-values[i], i))
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: list[float], ys: list[float]) -> float:
+    """Spearman rank correlation (Pearson over average ranks).
+
+    Fewer than two pairs, or a constant side, correlate perfectly by
+    convention: there is no ordering left to disagree about.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("rank correlation needs paired samples")
+    n = len(xs)
+    if n < 2:
+        return 1.0
+    rx = _average_ranks(xs)
+    ry = _average_ranks(ys)
+    mx = sum(rx) / n
+    my = sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0.0 or vy == 0.0:
+        return 1.0
+    return cov / (vx * vy) ** 0.5
+
+
+def validate_against_trace(
+    project: ProjectContext,
+    doc: Mapping[str, Any],
+    *,
+    model: CostModel | None = None,
+    span_map: Mapping[str, str] | None = None,
+) -> ValidationReport:
+    """Compare the model's inclusive costs with a trace's measured spans."""
+    if model is None:
+        model = CostModel(project)
+    mapping = dict(span_map if span_map is not None else SPAN_FUNCTION_MAP)
+    totals = measured_durations(doc)
+
+    matched: list[tuple[str, str, float, float]] = []
+    unmatched: list[str] = []
+    for name in sorted(totals):
+        qual = mapping.get(name)
+        cost = model.cost_of(qual) if qual is not None else None
+        if qual is None or cost is None:
+            unmatched.append(name)
+            continue
+        matched.append((qual, name, totals[name], cost.inclusive_cost))
+
+    measured = [m[2] for m in matched]
+    static = [m[3] for m in matched]
+    m_ranks = _average_ranks(measured)
+    s_ranks = _average_ranks(static)
+    pairs = tuple(
+        RankedPair(
+            qualname=qual,
+            span_name=name,
+            measured_us=dur,
+            static_cost=cost,
+            measured_rank=int(round(m_ranks[i])),
+            static_rank=int(round(s_ranks[i])),
+        )
+        for i, (qual, name, dur, cost) in enumerate(matched)
+    )
+    ordered = tuple(sorted(pairs, key=lambda p: (p.measured_rank, p.qualname)))
+    return ValidationReport(
+        pairs=ordered,
+        correlation=spearman(measured, static),
+        unmatched_spans=tuple(unmatched),
+    )

@@ -1,0 +1,196 @@
+"""Vectorizability / purity classifier for pipeline-stage functions.
+
+The planned numpy backend (ROADMAP item 1) replaces per-instruction
+Python loops with struct-of-arrays kernels.  A stage function is a
+candidate only when its loop body is *mechanically liftable*: every
+iteration independent, no writes through aliases, no control flow that
+depends on per-entry state mid-loop.  This classifier inspects each
+statically-hot function (see :mod:`repro.analysis.perfmodel.costmodel`)
+and reports the blockers that would make a 1:1 array translation
+unsound:
+
+``aliasing-write``
+    subscript store through a parameter or attribute base
+    (``entries[i].x = ...`` style writes through shared references);
+``shared-state-write``
+    attribute store (``self.count += 1``) — the loop threads state
+    through the object instead of producing values;
+``data-dependent-branch``
+    ``if``/``while``/``break``/``continue`` inside a loop whose
+    condition reads loop-carried names — the classic mask-vs-branch
+    conversion cost;
+``dynamic-dispatch``
+    ``isinstance``/``getattr``/``hasattr`` inside a loop — per-entry
+    type dispatch has no array equivalent.
+
+This is a *report*, not a lint rule: blockers are facts about the
+current design, not defects.  ``repro lint hotpaths`` prints the
+classification next to the cost ranking as the worklist for the
+backend port.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.flow.cfg import bound_names
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.perfmodel.costmodel import CostModel
+
+_DISPATCH_BUILTINS = frozenset({"isinstance", "getattr", "hasattr"})
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One reason a function resists struct-of-arrays translation."""
+
+    kind: str
+    line: int
+    detail: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "line": self.line, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class VectorizabilityReport:
+    """Classification of one function."""
+
+    qualname: str
+    blockers: tuple[Blocker, ...]
+
+    @property
+    def vectorizable(self) -> bool:
+        return not self.blockers
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "vectorizable": self.vectorizable,
+            "blockers": [b.to_dict() for b in self.blockers],
+        }
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = func.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _subscript_base(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _reads(node: ast.AST) -> set[str]:
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def classify_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, qualname: str
+) -> VectorizabilityReport:
+    """Classify one function body (see module docs for blocker kinds)."""
+    params = _param_names(func)
+    blockers: list[Blocker] = []
+
+    def visit(node: ast.AST, loop_depth: int, carried: set[str]) -> None:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for tgt in targets:
+                if isinstance(tgt, ast.Attribute):
+                    blockers.append(
+                        Blocker(
+                            "shared-state-write",
+                            node.lineno,
+                            f"stores attribute {ast.unparse(tgt)}",
+                        )
+                    )
+                elif isinstance(tgt, ast.Subscript):
+                    base = _subscript_base(tgt)
+                    if isinstance(base, ast.Attribute) or (
+                        isinstance(base, ast.Name) and base.id in params
+                    ):
+                        blockers.append(
+                            Blocker(
+                                "aliasing-write",
+                                node.lineno,
+                                f"writes through {ast.unparse(base)}[...]",
+                            )
+                        )
+        if loop_depth > 0:
+            if isinstance(node, (ast.If, ast.While)):
+                test_reads = _reads(node.test)
+                if test_reads & carried:
+                    blockers.append(
+                        Blocker(
+                            "data-dependent-branch",
+                            node.lineno,
+                            "branch on loop-carried "
+                            + ", ".join(sorted(test_reads & carried)),
+                        )
+                    )
+            if isinstance(node, (ast.Break, ast.Continue)):
+                blockers.append(
+                    Blocker(
+                        "data-dependent-branch",
+                        node.lineno,
+                        "early exit from the loop body",
+                    )
+                )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _DISPATCH_BUILTINS
+            ):
+                blockers.append(
+                    Blocker(
+                        "dynamic-dispatch",
+                        node.lineno,
+                        f"{node.func.id}() per loop entry",
+                    )
+                )
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            inner = carried | bound_names(node.target)
+            visit(node.iter, loop_depth, carried)
+            for child in node.body + node.orelse:
+                visit(child, loop_depth + 1, inner)
+            return
+        if isinstance(node, ast.While):
+            for child in node.body + node.orelse:
+                visit(child, loop_depth + 1, carried)
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, loop_depth, carried)
+
+    for stmt in func.body:
+        visit(stmt, 0, set())
+    ordered = tuple(sorted(set(blockers), key=lambda b: (b.line, b.kind, b.detail)))
+    return VectorizabilityReport(qualname=qualname, blockers=ordered)
+
+
+def classify_hot_functions(
+    project: ProjectContext, model: CostModel | None = None, top: int = 10
+) -> list[VectorizabilityReport]:
+    """Reports for the top-ranked hot functions, in ranking order."""
+    if model is None:
+        model = CostModel(project)
+    graph = project.call_graph
+    reports: list[VectorizabilityReport] = []
+    for cost in model.ranking(top):
+        node = graph.functions.get(cost.qualname)
+        if node is None:
+            continue
+        reports.append(classify_function(node.node, cost.qualname))
+    return reports

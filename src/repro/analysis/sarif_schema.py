@@ -1,0 +1,196 @@
+"""Structural validation of SARIF 2.1.0 documents — no external deps.
+
+GitHub code scanning (and every other SARIF consumer) silently drops
+malformed logs, so a reporter bug would otherwise surface as "the PR
+annotations disappeared" weeks later.  This module checks the subset
+of the SARIF 2.1.0 schema that :func:`repro.analysis.reporters.
+render_sarif` emits and that consumers actually require:
+
+* top level: ``version == "2.1.0"`` and a non-empty ``runs`` list;
+* each run: ``tool.driver.name`` (non-empty string) and unique rule
+  ``id``s in ``tool.driver.rules``;
+* each result: non-empty ``message.text``, a known ``level``, a
+  ``ruleIndex`` (when present) that indexes into the driver rules and
+  agrees with ``ruleId``, and at least one location whose
+  ``artifactLocation.uri`` is a non-empty relative URI with 1-based
+  ``region`` bounds.
+
+Run it from CI as ``python -m repro.analysis.sarif_schema FILE`` —
+exit 0 when the document validates, 1 with one ``path: message`` line
+per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Sequence
+
+#: SARIF 2.1.0 result levels (§3.27.10).
+RESULT_LEVELS = frozenset({"none", "note", "warning", "error"})
+
+
+def _is_nonempty_str(value: Any) -> bool:
+    return isinstance(value, str) and bool(value.strip())
+
+
+def _check_rules(driver: dict, at: str, errors: list[str]) -> list[str]:
+    """Validate ``tool.driver.rules``; returns the ordered rule ids."""
+    rules = driver.get("rules", [])
+    if not isinstance(rules, list):
+        errors.append(f"{at}.rules: expected a list")
+        return []
+    ids: list[str] = []
+    seen: set[str] = set()
+    for i, rule in enumerate(rules):
+        where = f"{at}.rules[{i}]"
+        if not isinstance(rule, dict):
+            errors.append(f"{where}: expected an object")
+            ids.append("")
+            continue
+        rule_id = rule.get("id")
+        if not _is_nonempty_str(rule_id):
+            errors.append(f"{where}.id: missing or empty")
+            ids.append("")
+            continue
+        if rule_id in seen:
+            errors.append(f"{where}.id: duplicate rule id {rule_id!r}")
+        seen.add(rule_id)
+        ids.append(rule_id)
+    return ids
+
+
+def _check_location(loc: Any, at: str, errors: list[str]) -> None:
+    if not isinstance(loc, dict):
+        errors.append(f"{at}: expected an object")
+        return
+    phys = loc.get("physicalLocation")
+    if not isinstance(phys, dict):
+        errors.append(f"{at}.physicalLocation: missing or not an object")
+        return
+    art = phys.get("artifactLocation")
+    if not isinstance(art, dict) or not _is_nonempty_str(art.get("uri")):
+        errors.append(f"{at}.physicalLocation.artifactLocation.uri: missing or empty")
+    else:
+        uri = art["uri"]
+        if uri.startswith("/") or "\\" in uri:
+            errors.append(
+                f"{at}.physicalLocation.artifactLocation.uri: {uri!r} must be "
+                "a relative, forward-slash URI"
+            )
+    region = phys.get("region")
+    if region is None:
+        return
+    if not isinstance(region, dict):
+        errors.append(f"{at}.physicalLocation.region: expected an object")
+        return
+    for field in ("startLine", "startColumn", "endLine", "endColumn"):
+        if field not in region:
+            continue
+        value = region[field]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            errors.append(
+                f"{at}.physicalLocation.region.{field}: {value!r} must be an "
+                "integer >= 1"
+            )
+
+
+def _check_result(
+    result: Any, at: str, rule_ids: Sequence[str], errors: list[str]
+) -> None:
+    if not isinstance(result, dict):
+        errors.append(f"{at}: expected an object")
+        return
+    message = result.get("message")
+    if not isinstance(message, dict) or not _is_nonempty_str(message.get("text")):
+        errors.append(f"{at}.message.text: missing or empty")
+    level = result.get("level")
+    if level is not None and level not in RESULT_LEVELS:
+        errors.append(
+            f"{at}.level: {level!r} not one of {sorted(RESULT_LEVELS)}"
+        )
+    rule_id = result.get("ruleId")
+    if rule_id is not None and not _is_nonempty_str(rule_id):
+        errors.append(f"{at}.ruleId: empty")
+    index = result.get("ruleIndex")
+    if index is not None:
+        if not isinstance(index, int) or isinstance(index, bool) or not (
+            0 <= index < len(rule_ids)
+        ):
+            errors.append(
+                f"{at}.ruleIndex: {index!r} out of range for "
+                f"{len(rule_ids)} driver rule(s)"
+            )
+        elif rule_id is not None and rule_ids[index] != rule_id:
+            errors.append(
+                f"{at}.ruleIndex: points at {rule_ids[index]!r} but ruleId "
+                f"is {rule_id!r}"
+            )
+    locations = result.get("locations")
+    if not isinstance(locations, list) or not locations:
+        errors.append(f"{at}.locations: missing or empty")
+        return
+    for i, loc in enumerate(locations):
+        _check_location(loc, f"{at}.locations[{i}]", errors)
+
+
+def validate_sarif(doc: Any) -> list[str]:
+    """Structural violations in ``doc``; an empty list means valid."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["$: expected a JSON object"]
+    if doc.get("version") != "2.1.0":
+        errors.append(f"$.version: {doc.get('version')!r} != '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("$.runs: missing or empty")
+        return errors
+    for r, run in enumerate(runs):
+        at = f"$.runs[{r}]"
+        if not isinstance(run, dict):
+            errors.append(f"{at}: expected an object")
+            continue
+        driver = run.get("tool", {})
+        driver = driver.get("driver") if isinstance(driver, dict) else None
+        if not isinstance(driver, dict):
+            errors.append(f"{at}.tool.driver: missing or not an object")
+            rule_ids: list[str] = []
+        else:
+            if not _is_nonempty_str(driver.get("name")):
+                errors.append(f"{at}.tool.driver.name: missing or empty")
+            rule_ids = _check_rules(driver, f"{at}.tool.driver", errors)
+        results = run.get("results", [])
+        if not isinstance(results, list):
+            errors.append(f"{at}.results: expected a list")
+            continue
+        for i, result in enumerate(results):
+            _check_result(result, f"{at}.results[{i}]", rule_ids, errors)
+    return errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.analysis.sarif_schema FILE", file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"{path}: unreadable SARIF: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_sarif(doc)
+    for err in errors:
+        print(f"{path}: {err}", file=sys.stderr)
+    if errors:
+        print(f"{path}: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    runs = doc["runs"]
+    results = sum(len(r.get("results", [])) for r in runs)
+    print(f"{path}: valid SARIF 2.1.0 ({len(runs)} run(s), {results} result(s))")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

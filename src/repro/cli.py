@@ -11,6 +11,8 @@ Commands
 ``profile``     offline per-PC vulnerability profiling of one benchmark
 ``reproduce``   regenerate one of the paper's tables/figures
 ``list``        enumerate benchmarks, mixes, policies and experiments
+``lint``        simulator-aware static analysis (alias of
+                ``python -m repro.lint``; see ``repro lint hotpaths``)
 
 Examples::
 
@@ -532,10 +534,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="enumerate benchmarks/mixes/experiments")
     p_list.set_defaults(func=cmd_list)
+
+    sub.add_parser(
+        "lint",
+        help="simulator-aware static analysis (alias of python -m repro.lint)",
+        add_help=False,
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `lint` forwards verbatim (argparse.REMAINDER refuses a leading
+    # option, so the dispatch happens before the top-level parser).
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

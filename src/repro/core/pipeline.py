@@ -622,7 +622,10 @@ class SMTPipeline:
             best_t: int | None = None
             best_ace: int | None = None
             for t in range(self.num_threads):
-                ace = sum(1 for i in self.fetch_q[t] if i.ace_pred)
+                ace = 0
+                for inst in self.fetch_q[t]:
+                    if inst.ace_pred:
+                        ace += 1
                 if best_ace is None or ace < best_ace:
                     best_t, best_ace = t, ace
             if best_t != dvm.restore_thread and self.bus.wants(TOPIC_DVM_RESTORE):

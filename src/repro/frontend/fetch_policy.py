@@ -26,7 +26,7 @@ from typing import Any, Protocol
 
 from repro.isa.instruction import DynInst
 from repro.telemetry.bus import EventBus
-from repro.telemetry.topics import TOPIC_FETCH_FLUSH
+from repro.telemetry.topics import TOPIC_FETCH_FLUSH, TOPIC_PDG_GATE
 
 
 class CoreView(Protocol):
@@ -190,8 +190,23 @@ class PDGPolicy(FetchPolicy):
         if self.predict_miss(inst.pc):
             self._pending[inst.thread] += 1
             self._counted.add(inst.tag)
+            if self._pending[inst.thread] == self.threshold and self.bus.wants(
+                TOPIC_PDG_GATE
+            ):
+                self.bus.emit(
+                    TOPIC_PDG_GATE,
+                    thread=inst.thread,
+                    pending=self._pending[inst.thread],
+                    gated=True,
+                )
 
-    def on_load_resolved(self, core: CoreView, inst: DynInst, l1_miss: bool) -> None:
+    # Predictor training only: the counters feed the next predict_miss()
+    # but no gating decision happens here — the gate transitions are
+    # emitted where the pending counts actually cross the threshold
+    # (on_load_dispatch / on_load_left).
+    def on_load_resolved(  # lint: disable=emit-coverage
+        self, core: CoreView, inst: DynInst, l1_miss: bool
+    ) -> None:
         idx = self._idx(inst.pc)
         ctr = self._table[idx]
         if l1_miss:
@@ -206,6 +221,15 @@ class PDGPolicy(FetchPolicy):
             self._counted.discard(inst.tag)
             if self._pending:
                 self._pending[inst.thread] -= 1
+                if self._pending[
+                    inst.thread
+                ] == self.threshold - 1 and self.bus.wants(TOPIC_PDG_GATE):
+                    self.bus.emit(
+                        TOPIC_PDG_GATE,
+                        thread=inst.thread,
+                        pending=self._pending[inst.thread],
+                        gated=False,
+                    )
 
 
 _POLICIES = {

@@ -136,7 +136,10 @@ def get_programs(mix_name: str, scale: BenchScale, profiled: bool = True):
                     n_instructions=scale.profile_instructions,
                     window=scale.profile_window,
                 )
-        _PROGRAMS[key] = programs
+        # Deliberate per-process memo: each pool worker warms its own
+        # copy via _init_worker; the parent's cache is never consulted
+        # across the fork.
+        _PROGRAMS[key] = programs  # lint: disable=fork-safety
     return _PROGRAMS[key]
 
 
@@ -237,7 +240,10 @@ def run_sim(
     )
     result = pipe.run()
     if key is not None:
-        _RESULTS[key] = result
+        # Deliberate per-process memo: a worker re-running an identical
+        # point hits its own cache; results return to the parent via the
+        # pool, never via this dict.
+        _RESULTS[key] = result  # lint: disable=fork-safety
     return result
 
 

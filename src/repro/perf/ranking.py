@@ -1,0 +1,72 @@
+"""Measured span ranking extracted from Chrome trace documents.
+
+The static cost model (:mod:`repro.analysis.perfmodel`) validates
+itself against measurement; this module is the measurement side: given
+a trace document (or file) written by ``repro perf trace`` /
+``repro.lint --trace-out``, it aggregates complete-event durations per
+span name and orders them descending — the ground-truth ranking that
+``repro lint hotpaths --validate-spans`` correlates against.  ``repro
+perf trace --ranking-out`` exports it as JSON so CI can archive the
+measured ranking next to the trace artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Categories whose complete events measure code wall time.
+MEASURED_CATS = frozenset({"cycle", "stage", "bench", "perf"})
+
+
+@dataclass(frozen=True)
+class SpanAggregate:
+    """Total measured time of one span name."""
+
+    name: str
+    cat: str
+    total_us: float
+    count: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "total_us": self.total_us,
+            "count": self.count,
+        }
+
+
+def span_ranking(doc: Mapping[str, Any]) -> list[SpanAggregate]:
+    """Measured span names by descending total duration."""
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document has no traceEvents list")
+    totals: dict[str, list] = {}
+    for ev in events:
+        if not isinstance(ev, Mapping) or ev.get("ph") != "X":
+            continue
+        cat = str(ev.get("cat", ""))
+        if cat not in MEASURED_CATS:
+            continue
+        name = str(ev.get("name", ""))
+        acc = totals.setdefault(name, [cat, 0.0, 0])
+        acc[1] += float(ev.get("dur", 0.0))
+        acc[2] += 1
+    ranked = [
+        SpanAggregate(name=name, cat=acc[0], total_us=acc[1], count=acc[2])
+        for name, acc in totals.items()
+    ]
+    ranked.sort(key=lambda a: (-a.total_us, a.name))
+    return ranked
+
+
+def write_span_ranking(path: str, doc: Mapping[str, Any]) -> int:
+    """Write the ranking JSON next to a trace; returns the entry count."""
+    ranked = span_ranking(doc)
+    payload = {"ranking": [a.to_dict() for a in ranked]}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(ranked)

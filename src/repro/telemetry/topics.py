@@ -128,6 +128,13 @@ TOPIC_FETCH_FLUSH = _topic(
     "the FLUSH fetch policy requested a post-miss flush of one thread",
 )
 
+TOPIC_PDG_GATE = _topic(
+    "pdg.gate",
+    ("thread", "pending", "gated"),
+    "the PDG predictor's pending-miss count crossed its gating threshold "
+    "(gated=True) or dropped back below it (gated=False)",
+)
+
 # ----------------------------------------------------------------------
 # Performance observability (repro.perf)
 # ----------------------------------------------------------------------
@@ -185,6 +192,7 @@ DECISION_TOPICS: tuple[Topic, ...] = (
     TOPIC_DVM_THROTTLE,
     TOPIC_DVM_RESTORE,
     TOPIC_FETCH_FLUSH,
+    TOPIC_PDG_GATE,
 )
 
 

@@ -1,0 +1,35 @@
+"""fork-safety counterexample: worker-reachable code mutating state
+that does not cross the process boundary.  BAD lines must be flagged;
+the non-submitted helper at the bottom must stay silent."""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+_CACHE = {}
+_ROWS = []
+
+
+def run_point(point):
+    _CACHE[point] = point * 2  # BAD: store into module-level container
+    _ROWS.append(point)  # BAD: mutator call on module-level container
+    return _helper(point)
+
+
+def _helper(point):
+    global _TOTAL
+    _TOTAL = point  # BAD: rebinds a module global in a worker
+    return random.random() + point  # BAD: process-global RNG draw
+
+
+def submit_all(points):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run_point, points))
+
+
+def local_report(points):
+    # Not worker-reachable: parent-side mutation is fine.
+    rows = []
+    for p in points:
+        rows.append(p)
+    _ROWS.append(len(rows))  # OK: runs in the parent only
+    return rows

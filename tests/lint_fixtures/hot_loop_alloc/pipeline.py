@@ -1,0 +1,36 @@
+"""hot-loop-alloc counterexample: allocation churn reachable from the
+cycle loop.  Lines marked BAD must be flagged; OK lines must not."""
+
+
+class SMTPipeline:
+    def __init__(self):
+        self.threads = [0, 1]
+        self.queue = []
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self._issue()
+            self._commit()
+
+    def _issue(self):
+        # Called once per cycle (score 8); depth-1 constructs rank 64.
+        for t in self.threads:
+            ready = [i for i in self.queue if i == t]  # BAD: list comp
+            label = f"thread-{t}"  # BAD: f-string formatting
+            self.consume(ready, label)
+
+    def _commit(self):
+        # Depth-0 statements rank only 8: below the hot threshold.
+        done = [i for i in self.queue]  # OK: not inside a local loop
+        self.consume(done, "commit")
+
+    def consume(self, items, label):
+        return len(items), label
+
+
+def offline_report(queue):
+    # Unreachable from any entry point: score 0, never flagged.
+    rows = []
+    for item in queue:
+        rows.append([item, str(item)])  # OK: cold code may allocate
+    return rows

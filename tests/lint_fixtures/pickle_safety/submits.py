@@ -1,0 +1,31 @@
+"""pickle-safety counterexample: unpicklable callables and handles
+crossing the pool boundary.  BAD lines must be flagged; the plain
+module-level submission must not."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def module_worker(path):
+    return path
+
+
+class Driver:
+    def method_worker(self, x):
+        return x
+
+    def launch(self, items):
+        def nested(x):
+            return x
+
+        log = open("driver.log", "w")
+        with ProcessPoolExecutor() as pool:
+            pool.submit(lambda x: x, 1)  # BAD error: lambda
+            pool.submit(nested, 2)  # BAD error: nested def
+            pool.submit(self.method_worker, 3)  # BAD warning: bound method
+            pool.submit(module_worker, log)  # BAD warning: open() handle
+            return pool.map(module_worker, items)  # OK: module-level
+
+
+def init_pool(items):
+    with ProcessPoolExecutor(initializer=lambda: None) as pool:  # BAD error
+        return pool.map(module_worker, items)

@@ -258,11 +258,18 @@ class TestCLI:
         assert "paper-fidelity" in capsys.readouterr().out
 
     def test_fail_on_threshold(self, capsys):
-        # src/ carries only baselined warnings: gating on errors passes,
-        # gating on warnings (the default) fails.
-        assert lint_main(["--no-cache", "--fail-on", "error", SRC]) == 0
-        assert lint_main(["--no-cache", SRC]) == 1
-        assert lint_main(["--no-cache", "--fail-on", "warning", SRC]) == 1
+        # The emit-coverage rule produces warnings only on its fixture:
+        # gating on errors passes, gating on warnings (default) fails.
+        fixture = os.path.join(FIXTURES, "emit_coverage")
+        base = ["--no-cache", "--rules", "emit-coverage"]
+        assert lint_main(base + ["--fail-on", "error", fixture]) == 0
+        assert lint_main(base + [fixture]) == 1
+        assert lint_main(base + ["--fail-on", "warning", fixture]) == 1
+        capsys.readouterr()
+
+    def test_src_is_clean(self, capsys):
+        # The tree carries no findings at all — the baseline is empty.
+        assert lint_main(["--no-cache", SRC]) == 0
         capsys.readouterr()
 
     def test_baseline_round_trip(self, capsys, tmp_path):

@@ -1,0 +1,489 @@
+"""The perfmodel tier: loop-weighted cost model, hot-loop-alloc /
+fork-safety / pickle-safety checkers, measured-span cross-validation,
+and the ``repro lint hotpaths`` CLI."""
+
+import ast
+import dataclasses
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import LintEngine, Severity
+from repro.analysis.engine import FileContext
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.perfmodel import (
+    HOT_RANK_THRESHOLD,
+    LOOP_WEIGHT,
+    CostModel,
+    default_entry_points,
+    iter_pool_sites,
+    measured_durations,
+    scan_function,
+    spearman,
+    validate_against_trace,
+    worker_reachable,
+)
+from repro.analysis.perfmodel.cli import hotpaths_main
+from repro.analysis.suppress import parse_suppressions
+
+HERE = os.path.dirname(__file__)
+ROOT = os.path.dirname(os.path.abspath(HERE))
+SRC = os.path.join(ROOT, "src")
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+
+#: project rule -> its dedicated counterexample fixture directory.
+FIXTURE_OF = {
+    "hot-loop-alloc": os.path.join(FIXTURES, "hot_loop_alloc"),
+    "fork-safety": os.path.join(FIXTURES, "fork_safety"),
+    "pickle-safety": os.path.join(FIXTURES, "pickle_safety"),
+}
+
+
+def run_rule(rule, path):
+    return LintEngine([rule]).run([path])
+
+
+def make_project(tmp_path, **modules):
+    """Build a ProjectContext from ``name=source`` module pairs."""
+    files = []
+    for name, src in modules.items():
+        src = textwrap.dedent(src)
+        p = tmp_path / f"{name}.py"
+        p.write_text(src)
+        files.append(
+            FileContext(str(p), src, ast.parse(src), parse_suppressions(src))
+        )
+    return ProjectContext(sorted(files, key=lambda c: c.path))
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+class TestScanFunction:
+    def _cost(self, body):
+        tree = ast.parse(textwrap.dedent(body))
+        func = tree.body[0]
+        assert isinstance(func, ast.FunctionDef)
+        cost, _calls = scan_function(func)
+        return cost
+
+    def test_straight_line_costs_one_per_statement(self):
+        assert self._cost("def f():\n    a = 1\n    b = 2\n") == 2.0
+
+    def test_loop_body_weighted_by_loop_weight(self):
+        cost = self._cost(
+            """
+            def f(xs):
+                for x in xs:
+                    a = x
+                    b = x
+            """
+        )
+        # The ``for`` itself is a depth-0 statement; its body is depth 1.
+        assert cost == 1.0 + 2 * LOOP_WEIGHT
+
+    def test_nesting_multiplies(self):
+        cost = self._cost(
+            """
+            def f(xs):
+                for x in xs:
+                    for y in xs:
+                        a = y
+            """
+        )
+        assert cost == 1.0 + LOOP_WEIGHT + LOOP_WEIGHT**2
+
+    def test_nested_def_attributed_to_enclosing(self):
+        cost = self._cost(
+            """
+            def f(xs):
+                def inner():
+                    for x in xs:
+                        a = x
+                return inner
+            """
+        )
+        # def stmt + return stmt + inner's for + its body.
+        assert cost == 2.0 + 1.0 + LOOP_WEIGHT
+
+    def test_class_body_ignored(self):
+        cost = self._cost(
+            """
+            def f():
+                class C:
+                    x = 1
+                    y = 2
+                return C
+            """
+        )
+        assert cost == 2.0  # the ClassDef stmt and the return
+
+
+class TestCostModel:
+    PIPELINE = """
+        class SMTPipeline:
+            def run(self, cycles):
+                for _ in range(cycles):
+                    self._issue()
+
+            def _issue(self):
+                self._select()
+
+            def _select(self):
+                return 1
+
+        def unreached():
+            return 0
+        """
+
+    def test_default_entry_points(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            pipeline=self.PIPELINE,
+            bench="def _make_case():\n    return 1\ndef helper():\n    return 2\n",
+        )
+        assert default_entry_points(project) == [
+            "bench._make_case",
+            "pipeline.SMTPipeline.run",
+        ]
+
+    def test_call_score_propagates_through_loops(self, tmp_path):
+        project = make_project(tmp_path, pipeline=self.PIPELINE)
+        model = CostModel(project)
+        # run seeds 1.0; _issue is called from inside run's loop.
+        assert model.score_of("pipeline.SMTPipeline.run") == 1.0
+        assert model.score_of("pipeline.SMTPipeline._issue") == LOOP_WEIGHT
+        # _select inherits _issue's score (called at depth 0 there).
+        assert model.score_of("pipeline.SMTPipeline._select") == LOOP_WEIGHT
+        assert model.score_of("pipeline.unreached") == 0.0
+
+    def test_ranking_excludes_unreached(self, tmp_path):
+        project = make_project(tmp_path, pipeline=self.PIPELINE)
+        ranked = [c.qualname for c in CostModel(project).ranking()]
+        assert "pipeline.unreached" not in ranked
+        assert "pipeline.SMTPipeline._issue" in ranked
+
+    def test_inclusive_cost_folds_callees_in(self, tmp_path):
+        project = make_project(tmp_path, pipeline=self.PIPELINE)
+        model = CostModel(project)
+        incl_select = model.cost_of("pipeline.SMTPipeline._select").inclusive_cost
+        incl_issue = model.cost_of("pipeline.SMTPipeline._issue").inclusive_cost
+        assert incl_issue == 1.0 + incl_select
+        run = model.cost_of("pipeline.SMTPipeline.run")
+        assert run.inclusive_cost == run.local_cost + LOOP_WEIGHT * incl_issue
+
+    def test_recursion_terminates_with_shared_score(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            pipeline="""
+            class SMTPipeline:
+                def run(self):
+                    ping()
+
+            def ping():
+                pong()
+
+            def pong():
+                ping()
+            """,
+        )
+        model = CostModel(project)
+        # The ping<->pong cycle forms one SCC: finite, shared score.
+        assert model.score_of("pipeline.ping") == model.score_of("pipeline.pong") == 1.0
+        assert model.cost_of("pipeline.ping").inclusive_cost == 2.0
+
+    def test_explicit_entry_points_override_defaults(self, tmp_path):
+        project = make_project(tmp_path, pipeline=self.PIPELINE)
+        model = CostModel(project, entry_points=["pipeline.unreached"])
+        assert model.score_of("pipeline.unreached") == 1.0
+        assert model.score_of("pipeline.SMTPipeline._issue") == 0.0
+
+
+# ----------------------------------------------------------------------
+# The three project checkers against their fixtures
+# ----------------------------------------------------------------------
+class TestCheckersFireOnFixtures:
+    @pytest.mark.parametrize("rule", sorted(FIXTURE_OF))
+    def test_rule_fires_on_its_fixture(self, rule):
+        diags = run_rule(rule, FIXTURE_OF[rule])
+        assert diags, f"{rule} silent on its own fixture"
+        assert all(d.rule == rule for d in diags)
+
+    @pytest.mark.parametrize("rule", sorted(FIXTURE_OF))
+    def test_other_new_rules_stay_silent_on_fixture(self, rule):
+        for other in sorted(set(FIXTURE_OF) - {rule}):
+            diags = run_rule(other, FIXTURE_OF[rule])
+            assert diags == [], f"{other} fired on the {rule} fixture"
+
+
+class TestHotLoopAlloc:
+    def test_flags_both_hot_constructs_and_nothing_else(self):
+        diags = run_rule("hot-loop-alloc", FIXTURE_OF["hot-loop-alloc"])
+        assert [d.line for d in diags] == [18, 19]
+        labels = {d.symbol.rsplit(":", 1)[1] for d in diags}
+        assert labels == {"list comprehension", "f-string formatting"}
+        assert all(d.severity == Severity.WARNING for d in diags)
+
+    def test_silent_without_entry_points(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "def f(xs):\n    for x in xs:\n        y = [x]\n"
+        )
+        assert run_rule("hot-loop-alloc", str(tmp_path)) == []
+
+    def test_rank_message_names_the_threshold(self):
+        diags = run_rule("hot-loop-alloc", FIXTURE_OF["hot-loop-alloc"])
+        assert f">= {HOT_RANK_THRESHOLD:.0f}" in diags[0].message
+
+
+class TestForkSafety:
+    def test_flags_all_four_mutations_in_worker_code(self):
+        diags = run_rule("fork-safety", FIXTURE_OF["fork-safety"])
+        assert [d.line for d in diags] == [13, 14, 20, 21]
+        # ... and only in worker-reachable functions: local_report's
+        # identical .append() on line 34 stays silent.
+        assert all("workers.run_point" in d.message for d in diags)
+
+    def test_worker_reachable_closure(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            jobs="""
+            def work(x):
+                return helper(x)
+
+            def helper(x):
+                return x
+
+            def cold(x):
+                return x
+
+            def launch(pool, xs):
+                return pool.map(work, xs)
+            """,
+        )
+        reached = worker_reachable(project)
+        assert reached == {"jobs.work": "jobs.work", "jobs.helper": "jobs.work"}
+
+
+class TestPickleSafety:
+    def test_flags_every_unpicklable_crossing(self):
+        diags = run_rule("pickle-safety", FIXTURE_OF["pickle-safety"])
+        assert [d.line for d in diags] == [22, 23, 24, 25, 30]
+        by_sev = {s: sum(1 for d in diags if d.severity == s) for s in Severity}
+        assert by_sev[Severity.ERROR] == 3  # lambda, nested def, initializer
+        assert by_sev[Severity.WARNING] == 2  # bound method, open() handle
+
+    def test_pool_sites_include_initializer_keyword(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            jobs="""
+            def setup():
+                pass
+
+            def launch(pool, xs, f):
+                pool = make_pool(initializer=setup)
+                return pool.map(f, xs)
+            """,
+        )
+        kinds = sorted(s.kind for s in iter_pool_sites(project))
+        assert kinds == ["initializer", "map"]
+
+
+# ----------------------------------------------------------------------
+# Spearman + span validation
+# ----------------------------------------------------------------------
+class TestSpearman:
+    def test_identical_order_is_one(self):
+        assert spearman([3.0, 2.0, 1.0], [30.0, 20.0, 10.0]) == 1.0
+
+    def test_reversed_order_is_minus_one(self):
+        assert spearman([1.0, 2.0, 3.0], [30.0, 20.0, 10.0]) == -1.0
+
+    def test_ties_share_average_ranks(self):
+        r = spearman([2.0, 2.0, 1.0], [5.0, 4.0, 3.0])
+        assert 0.0 < r < 1.0
+
+    def test_degenerate_inputs_correlate_perfectly(self):
+        assert spearman([], []) == 1.0
+        assert spearman([1.0], [2.0]) == 1.0
+        assert spearman([1.0, 1.0], [3.0, 4.0]) == 1.0  # constant side
+
+    def test_unpaired_samples_raise(self):
+        with pytest.raises(ValueError):
+            spearman([1.0], [1.0, 2.0])
+
+
+class TestMeasuredDurations:
+    def test_sums_complete_events_in_measured_cats_only(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "cat": "stage", "name": "issue", "dur": 5.0},
+                {"ph": "X", "cat": "stage", "name": "issue", "dur": 7.0},
+                {"ph": "X", "cat": "decision", "name": "issue", "dur": 100.0},
+                {"ph": "i", "cat": "stage", "name": "issue"},
+                {"ph": "X", "cat": "cycle", "name": "cycle", "dur": 20.0},
+            ]
+        }
+        assert measured_durations(doc) == {"issue": 12.0, "cycle": 20.0}
+
+    def test_missing_trace_events_raises(self):
+        with pytest.raises(ValueError):
+            measured_durations({"otherData": {}})
+
+
+class TestValidateAgainstTrace:
+    PIPELINE = """
+        class SMTPipeline:
+            def run(self, cycles):
+                for _ in range(cycles):
+                    self._issue()
+                    self._commit()
+
+            def _issue(self):
+                a = 1
+                b = 2
+                return a + b
+
+            def _commit(self):
+                return 0
+        """
+
+    def _doc(self, issue_us, commit_us):
+        return {
+            "traceEvents": [
+                {"ph": "X", "cat": "stage", "name": "issue", "dur": issue_us},
+                {"ph": "X", "cat": "stage", "name": "commit", "dur": commit_us},
+                {"ph": "X", "cat": "stage", "name": "mystery", "dur": 1.0},
+            ]
+        }
+
+    def test_agreeing_ranking_correlates_perfectly(self, tmp_path):
+        project = make_project(tmp_path, pipeline=self.PIPELINE)
+        span_map = {
+            "issue": "pipeline.SMTPipeline._issue",
+            "commit": "pipeline.SMTPipeline._commit",
+        }
+        report = validate_against_trace(
+            project, self._doc(30.0, 10.0), span_map=span_map
+        )
+        assert report.correlation == 1.0
+        assert [p.span_name for p in report.pairs] == ["issue", "commit"]
+        assert report.unmatched_spans == ("mystery",)
+
+    def test_disagreeing_ranking_correlates_negatively(self, tmp_path):
+        project = make_project(tmp_path, pipeline=self.PIPELINE)
+        span_map = {
+            "issue": "pipeline.SMTPipeline._issue",
+            "commit": "pipeline.SMTPipeline._commit",
+        }
+        report = validate_against_trace(
+            project, self._doc(10.0, 30.0), span_map=span_map
+        )
+        assert report.correlation == -1.0
+
+
+class TestValidateSpansEndToEnd:
+    """The acceptance gate: at pinned scale, the static ranking must
+    rank-correlate >= 0.6 with the measured stage spans."""
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        from repro.harness.runner import BenchScale, run_recorded
+        from repro.perf.chrome_trace import write_chrome_trace
+        from repro.perf.spans import SpanTracer, TracingProfiler
+
+        scale = dataclasses.replace(
+            BenchScale.from_env(), max_cycles=1200, warmup_cycles=200
+        )
+        profiler = TracingProfiler(SpanTracer(), max_traced_cycles=1200)
+        result, recorder, _profile = run_recorded(
+            "MEM-A", scale, profiler=profiler
+        )
+        path = str(tmp_path_factory.mktemp("spans") / "trace.json")
+        write_chrome_trace(
+            path,
+            spans=profiler.tracer.spans,
+            recorded=recorder.events,
+            manifest=result.manifest,
+        )
+        return path
+
+    def test_correlation_gate_passes_via_cli(self, trace_path, tmp_path):
+        out = str(tmp_path / "report.json")
+        code = hotpaths_main(
+            [
+                SRC,
+                "--validate-spans",
+                trace_path,
+                "--min-correlation",
+                "0.6",
+                "--format",
+                "json",
+                "--output",
+                out,
+            ]
+        )
+        with open(out, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        validation = payload["validation"]
+        assert code == 0, f"correlation {validation['correlation']:.3f} < 0.6"
+        assert validation["correlation"] >= 0.6
+        # Every stage span the profiler emits must map to a function.
+        assert validation["unmatched_spans"] == []
+        assert len(validation["pairs"]) >= 6
+
+    def test_impossible_gate_fails_with_exit_one(self, trace_path, capsys):
+        code = hotpaths_main(
+            [SRC, "--validate-spans", trace_path, "--min-correlation", "1.01"]
+        )
+        assert code == 1
+        assert "below the --min-correlation gate" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# hotpaths CLI surface
+# ----------------------------------------------------------------------
+class TestHotpathsCLI:
+    def test_text_report_on_fixture(self, capsys):
+        assert hotpaths_main([FIXTURE_OF["hot-loop-alloc"], "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hot-path ranking" in out
+        assert "pipeline.SMTPipeline._issue" in out
+        assert "vectorizability worklist:" in out
+
+    def test_json_payload_shape(self, capsys):
+        assert (
+            hotpaths_main([FIXTURE_OF["hot-loop-alloc"], "--format", "json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["loop_weight"] == LOOP_WEIGHT
+        assert payload["entry_points"] == ["pipeline.SMTPipeline.run"]
+        assert payload["ranking"][0]["qualname"].startswith("pipeline.")
+        assert {r["qualname"] for r in payload["vectorizability"]} <= {
+            r["qualname"] for r in payload["ranking"]
+        }
+
+    def test_bad_trace_is_usage_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        code = hotpaths_main(
+            [FIXTURE_OF["hot-loop-alloc"], "--validate-spans", missing]
+        )
+        assert code == 2
+        assert "bad trace" in capsys.readouterr().err
+
+    def test_min_correlation_requires_validate_spans(self, capsys):
+        code = hotpaths_main(
+            [FIXTURE_OF["hot-loop-alloc"], "--min-correlation", "0.5"]
+        )
+        assert code == 2
+        assert "--validate-spans" in capsys.readouterr().err
+
+    def test_dispatch_through_lint_cli(self, capsys):
+        from repro.analysis.cli import main as lint_main
+
+        assert (
+            lint_main(["hotpaths", FIXTURE_OF["hot-loop-alloc"], "--top", "1"])
+            == 0
+        )
+        assert "hot-path ranking" in capsys.readouterr().out

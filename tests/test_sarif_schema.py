@@ -1,0 +1,134 @@
+"""The structural SARIF 2.1.0 validator against the lint reporter's
+real output and hand-broken documents."""
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.reporters import render_sarif
+from repro.analysis.sarif_schema import main as sarif_main
+from repro.analysis.sarif_schema import validate_sarif
+
+
+def make_doc(diags=()):
+    return json.loads(render_sarif(list(diags)))
+
+
+def diag(**overrides):
+    base = dict(
+        path="src/repro/core/pipeline.py",
+        line=10,
+        col=2,
+        rule="determinism",
+        message="wall-clock read in simulation code",
+        severity=Severity.WARNING,
+        symbol="SMTPipeline.run",
+    )
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+class TestValidDocuments:
+    def test_empty_report_validates(self):
+        assert validate_sarif(make_doc()) == []
+
+    def test_report_with_results_validates(self):
+        doc = make_doc([diag(), diag(line=20, severity=Severity.ERROR)])
+        assert validate_sarif(doc) == []
+
+
+class TestViolations:
+    def test_wrong_version(self):
+        doc = make_doc()
+        doc["version"] = "2.0.0"
+        assert any("$.version" in e for e in validate_sarif(doc))
+
+    def test_missing_runs(self):
+        assert validate_sarif({"version": "2.1.0"}) == ["$.runs: missing or empty"]
+
+    def test_non_object_document(self):
+        assert validate_sarif([1, 2]) == ["$: expected a JSON object"]
+
+    def test_missing_driver_name(self):
+        doc = make_doc()
+        del doc["runs"][0]["tool"]["driver"]["name"]
+        assert any("tool.driver.name" in e for e in validate_sarif(doc))
+
+    def test_duplicate_rule_ids(self):
+        doc = make_doc()
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        rules[1]["id"] = rules[0]["id"]
+        assert any("duplicate rule id" in e for e in validate_sarif(doc))
+
+    def test_unknown_result_level(self):
+        doc = make_doc([diag()])
+        doc["runs"][0]["results"][0]["level"] = "fatal"
+        assert any(".level" in e for e in validate_sarif(doc))
+
+    def test_empty_message_text(self):
+        doc = make_doc([diag()])
+        doc["runs"][0]["results"][0]["message"]["text"] = " "
+        assert any(".message.text" in e for e in validate_sarif(doc))
+
+    def test_rule_index_out_of_range(self):
+        doc = make_doc([diag()])
+        doc["runs"][0]["results"][0]["ruleIndex"] = 999
+        assert any(".ruleIndex" in e for e in validate_sarif(doc))
+
+    def test_rule_index_pointing_at_wrong_rule(self):
+        doc = make_doc([diag()])
+        result = doc["runs"][0]["results"][0]
+        result["ruleIndex"] = (result["ruleIndex"] + 1) % len(
+            doc["runs"][0]["tool"]["driver"]["rules"]
+        )
+        assert any("but ruleId is" in e for e in validate_sarif(doc))
+
+    def test_missing_locations(self):
+        doc = make_doc([diag()])
+        doc["runs"][0]["results"][0]["locations"] = []
+        assert any(".locations" in e for e in validate_sarif(doc))
+
+    def test_absolute_uri_rejected(self):
+        doc = make_doc([diag()])
+        loc = doc["runs"][0]["results"][0]["locations"][0]
+        loc["physicalLocation"]["artifactLocation"]["uri"] = "/abs/path.py"
+        assert any("relative" in e for e in validate_sarif(doc))
+
+    def test_zero_based_region_rejected(self):
+        doc = make_doc([diag()])
+        loc = doc["runs"][0]["results"][0]["locations"][0]
+        loc["physicalLocation"]["region"]["startLine"] = 0
+        assert any("region.startLine" in e for e in validate_sarif(doc))
+
+    def test_boolean_region_value_rejected(self):
+        doc = make_doc([diag()])
+        loc = doc["runs"][0]["results"][0]["locations"][0]
+        loc["physicalLocation"]["region"]["startColumn"] = True
+        assert any("region.startColumn" in e for e in validate_sarif(doc))
+
+
+class TestCli:
+    def write(self, tmp_path, doc):
+        path = tmp_path / "report.sarif"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        path = self.write(tmp_path, make_doc([diag()]))
+        assert sarif_main([path]) == 0
+        assert "valid SARIF 2.1.0" in capsys.readouterr().out
+
+    def test_invalid_file_exits_one_with_violations(self, tmp_path, capsys):
+        doc = make_doc([diag()])
+        doc["version"] = "1.0"
+        path = self.write(tmp_path, doc)
+        assert sarif_main([path]) == 1
+        err = capsys.readouterr().err
+        assert "$.version" in err and "violation(s)" in err
+
+    def test_unreadable_file_exits_one(self, tmp_path, capsys):
+        assert sarif_main([str(tmp_path / "missing.sarif")]) == 1
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_usage_error(self, capsys):
+        assert sarif_main([]) == 2
+        assert "usage:" in capsys.readouterr().err
