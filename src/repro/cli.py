@@ -43,6 +43,7 @@ from repro.harness.report import format_table, save_report
 from repro.harness.runner import BenchScale, mix_harmonic_ipc, run_recorded, run_sim
 from repro.harness.sweep import NAMED_METRICS
 from repro.perf.cli import register_perf_cli
+from repro.reliability.cli import register_avf_cli
 from repro.telemetry.bus import EventBus
 from repro.telemetry.timeline import (
     TimelineRecorder,
@@ -223,8 +224,10 @@ def _progress_printer(event) -> None:
     p = event.payload
     worker = f" w{p['worker']}" if p["worker"] >= 0 else ""
     timing = f" {p['elapsed_ms']:.0f}ms" if p["status"] == "done" else ""
+    avf = p.get("avf")
+    vuln = f" avf={avf:.3f}" if avf is not None else ""
     print(
-        f"  [{p['status']:>7}] {p['label']}{worker}{timing}",
+        f"  [{p['status']:>7}] {p['label']}{worker}{timing}{vuln}",
         file=sys.stderr,
         flush=True,
     )
@@ -515,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.set_defaults(func=cmd_figures)
 
     register_perf_cli(sub)
+    register_avf_cli(sub)
 
     p_prof = sub.add_parser("profile", help="offline vulnerability profiling")
     p_prof.add_argument("benchmark")

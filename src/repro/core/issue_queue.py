@@ -43,6 +43,7 @@ class IssueQueue:
         "pred_ace_bits",
         "ready_pred_ace",
         "_bits_of",
+        "_free_slots",
         "inserted",
         "squashed",
     )
@@ -68,6 +69,10 @@ class IssueQueue:
         self._bits_of: Callable[[DynInst], int] = (
             bits_of if bits_of is not None else (lambda inst: 0)
         )
+        # LIFO free list of physical slot numbers: insert pops, any
+        # deallocation pushes back.  O(1) either way, and slot numbers
+        # are stable for a residency (per-entry vulnerability heatmaps).
+        self._free_slots: list[int] = list(range(capacity - 1, -1, -1))
         self.inserted = 0
         self.squashed = 0
 
@@ -101,6 +106,7 @@ class IssueQueue:
             raise RuntimeError("issue queue overflow")
         inst.state = DynState.DISPATCHED
         inst.dispatch_cycle = cycle
+        inst.iq_slot = self._free_slots.pop()
         if inst.src_tags:
             self.waiting[inst.tag] = inst
             for t in inst.src_tags:
@@ -144,6 +150,7 @@ class IssueQueue:
             )
         self.per_thread[inst.thread] -= 1
         self.pred_ace_bits -= self._bits_of(inst)
+        self._free_slots.append(inst.iq_slot)
         if inst.ace_pred:
             self.ready_pred_ace -= 1
 
@@ -167,6 +174,7 @@ class IssueQueue:
                         "no longer reconciles with the resident set"
                     )
                 self.pred_ace_bits -= self._bits_of(inst)
+                self._free_slots.append(inst.iq_slot)
                 if is_ready_pool and inst.ace_pred:
                     self.ready_pred_ace -= 1
                 removed.append(inst)

@@ -55,6 +55,7 @@ from repro.telemetry.topics import (
     TOPIC_DVM_RESTORE,
     TOPIC_DVM_THROTTLE,
     TOPIC_INTERVAL_CLOSE,
+    TOPIC_RELIABILITY_DIVERGENCE,
     TOPIC_SQUASH,
 )
 
@@ -321,9 +322,14 @@ class SMTPipeline:
         if telemetry:
             if self.dvm is not None:
                 self.dvm.bus = self.bus
+                self.dvm.structure = (
+                    "rob" if dvm_structure == Structure.ROB else "iq"
+                )
             self.dispatch_policy.bus = self.bus
             self.base_fetch_policy.bus = self.bus
             self._flush_policy.bus = self.bus
+            self.avf.bus = self.bus
+            self.analyzer.bus = self.bus
         # Hot-topic wants() flags, re-read only when the bus's
         # subscription version changes (zero-subscriber fast path).
         self._bus_version = -1
@@ -933,7 +939,38 @@ class SMTPipeline:
             self._warm_committed_pt = [0] * self.num_threads
         self.analyzer.flush(final_cycle)
         self.avf.close(final_cycle)
+        self._emit_divergence()
         return self._build_result(final_cycle)
+
+    def _emit_divergence(self) -> None:
+        """Publish the end-of-run online-vs-oracle comparison.
+
+        One ``reliability.divergence`` event per closed interval per
+        DVM-governable structure, once the oracle interval AVF is final
+        (the oracle attributes retroactively, so this cannot stream).
+        """
+        bus = self.bus if self.telemetry else None
+        if bus is None or not bus.wants(TOPIC_RELIABILITY_DIVERGENCE):
+            return
+        for structure, name in ((Structure.IQ, "iq"), (Structure.ROB, "rob")):
+            oracle = self.avf.interval_avf(structure)
+            for i, rec in enumerate(self.intervals):
+                if i >= len(oracle):
+                    break
+                online = (
+                    rec.online_avf_estimate
+                    if structure is Structure.IQ
+                    else rec.online_rob_estimate
+                )
+                bus.emit(
+                    TOPIC_RELIABILITY_DIVERGENCE,
+                    structure=name,
+                    index=i,
+                    end_cycle=rec.end_cycle,
+                    oracle_avf=oracle[i],
+                    online_estimate=online,
+                    divergence=oracle[i] - online,
+                )
 
     def _publish_metrics(self, final_cycle: int) -> None:
         """Publish every component's stats into the hierarchical

@@ -321,6 +321,20 @@ def _execute_task(task: Task) -> tuple[Any, float, float, int]:
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
+def _point_avf(value: Any) -> float | None:
+    """The IQ AVF carried by a point's reduced metric dict, if any.
+
+    Sweep/replicate points reduce to ``{metric: float}`` dicts; when one
+    of those metrics is ``iq_avf`` the progress stream surfaces it so a
+    live sweep shows vulnerability alongside throughput.
+    """
+    if isinstance(value, Mapping):
+        avf = value.get("iq_avf")
+        if isinstance(avf, (int, float)) and avf == avf:  # NaN-safe
+            return float(avf)
+    return None
+
+
 class _PointEmitter:
     """Telemetry + report bookkeeping shared by the inline/pool paths."""
 
@@ -341,6 +355,7 @@ class _PointEmitter:
         worker: int = -1,
         start_ms: float | None = None,
         elapsed_ms: float = 0.0,
+        avf: float | None = None,
     ) -> None:
         if self.bus is None:
             return
@@ -357,6 +372,7 @@ class _PointEmitter:
             elapsed_ms=float(elapsed_ms),
             attempt=attempt,
             worker=worker,
+            avf=avf,
         )
 
 
@@ -427,7 +443,7 @@ def execute_tasks(
                 run.reports.append(
                     PointReport(task.index, task.key, task.label, "cached")
                 )
-                emitter.emit(task, "cached", attempt=0)
+                emitter.emit(task, "cached", attempt=0, avf=_point_avf(rec.get("value")))
             else:
                 todo.append(task)
 
@@ -459,7 +475,7 @@ def execute_tasks(
                 )
             emitter.emit(
                 task, "done", attempt=attempt, worker=worker,
-                start_ms=start_ms, elapsed_ms=elapsed_ms,
+                start_ms=start_ms, elapsed_ms=elapsed_ms, avf=_point_avf(value),
             )
 
         def _skip(task: Task, attempt: int, error: str) -> None:

@@ -297,6 +297,77 @@ def run_recorded(
     return result, recorder, profile
 
 
+def run_observed(
+    mix_name: str,
+    scale: BenchScale,
+    *,
+    fetch_policy: str = "icount",
+    scheduler: str = "oldest",
+    dispatch: str | None = None,
+    dvm_target: float | None = None,
+    dvm_static_ratio: float | None = None,
+    profiled: bool = True,
+    event_limit: int = 200_000,
+    record: bool = False,
+) -> tuple[SimulationResult, "ReliabilityObserver", TimelineRecorder | None]:
+    """One uncached simulation with a reliability observer attached.
+
+    Builds the same pipeline as :func:`run_sim`, subscribes a
+    :class:`~repro.reliability.observe.ReliabilityObserver` to the
+    ``reliability.*`` streams, and optionally (``record=True``) also a
+    :class:`~repro.telemetry.timeline.TimelineRecorder` over the
+    reliability + interval topics for Chrome-trace export.  Results are
+    never cached: the observer belongs to this specific run.
+    """
+    from repro.reliability.observe import ReliabilityObserver
+    from repro.telemetry.topics import (
+        TOPIC_DVM_SAMPLE,
+        TOPIC_INTERVAL_CLOSE,
+        TOPIC_RELIABILITY_DIVERGENCE,
+        TOPIC_RELIABILITY_ESTIMATE,
+        TOPIC_RELIABILITY_LATE_ACE,
+    )
+
+    machine = MachineConfig(num_threads=len(get_mix(mix_name).benchmarks))
+    sim = scale.sim_config()
+    dvm = None
+    if dvm_target is not None:
+        dvm = DVMController(
+            dvm_target, config=sim.reliability, static_ratio=dvm_static_ratio
+        )
+    pipe = SMTPipeline(
+        get_programs(mix_name, scale, profiled),
+        machine=machine,
+        sim=sim,
+        fetch_policy=fetch_policy,
+        scheduler=scheduler,
+        dispatch_policy=_make_dispatch(dispatch, scale, machine),
+        dvm=dvm,
+    )
+    observer = ReliabilityObserver.for_pipeline(pipe)
+    recorder = None
+    if record:
+        recorder = TimelineRecorder(
+            pipe.bus,
+            topics=(
+                TOPIC_INTERVAL_CLOSE,
+                TOPIC_DVM_SAMPLE,
+                TOPIC_RELIABILITY_ESTIMATE,
+                TOPIC_RELIABILITY_LATE_ACE,
+                TOPIC_RELIABILITY_DIVERGENCE,
+            ),
+            limit=event_limit,
+        )
+        recorder.__enter__()
+    try:
+        result = pipe.run()
+    finally:
+        if recorder is not None:
+            recorder.__exit__(None, None, None)
+        observer.detach()
+    return result, observer, recorder
+
+
 def single_thread_ipc(
     benchmark: str,
     scale: BenchScale,

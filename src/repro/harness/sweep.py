@@ -33,6 +33,7 @@ NAMED_METRICS: dict[str, Callable[[SimulationResult], float]] = {
     "ipc": lambda r: r.ipc,
     "iq_avf": lambda r: r.iq_avf,
     "max_iq_avf": lambda r: r.max_iq_avf,
+    "rob_avf": lambda r: r.rob_avf,
     "max_online_estimate": lambda r: r.max_online_estimate,
     "bp_accuracy": lambda r: r.bp_accuracy,
     "l1d_miss_rate": lambda r: r.l1d_miss_rate,

@@ -187,6 +187,10 @@ class DynInst:
     ace: bool | None = None
     ace_pred: bool = True
     iq_leave_cycle: int = -1
+    # Physical IQ slot occupied while resident (-1 before dispatch);
+    # stable for the whole residency, so per-entry heatmaps can
+    # attribute vulnerability to hardware slots.
+    iq_slot: int = -1
     # Thread-context state before this instruction advanced the fetch
     # point; restored on misprediction recovery and FLUSH refetch
     # (the (block, index, stream_pos, call_stack) tuple of

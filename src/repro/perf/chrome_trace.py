@@ -40,9 +40,11 @@ TID_DVM = 2
 TID_ALLOC = 3
 TID_FETCH = 4
 TID_SWEEP = 5
+#: Counter tracks (``"ph": "C"``) for AVF / occupancy / DVM state.
+TID_COUNTERS = 6
 #: Per-worker point tracks of the parallel harness sit above the fixed
 #: tracks: worker *n* renders on tid ``TID_WORKER_BASE + n``.
-TID_WORKER_BASE = 6
+TID_WORKER_BASE = 7
 
 #: Topic-family → track for recorded decision events.
 _TOPIC_TIDS: dict[str, int] = {
@@ -57,6 +59,11 @@ _TOPIC_TIDS: dict[str, int] = {
     "fetch.flush": TID_FETCH,
     "perf.span": TID_SPANS,
     "harness.point": TID_SWEEP,
+    "reliability.attribution": TID_COUNTERS,
+    "reliability.rf": TID_COUNTERS,
+    "reliability.late_ace": TID_COUNTERS,
+    "reliability.estimate": TID_COUNTERS,
+    "reliability.divergence": TID_COUNTERS,
 }
 
 _TRACK_NAMES: dict[int, str] = {
@@ -66,6 +73,7 @@ _TRACK_NAMES: dict[int, str] = {
     TID_ALLOC: "iq allocation",
     TID_FETCH: "fetch policy",
     TID_SWEEP: "sweep points",
+    TID_COUNTERS: "reliability counters",
 }
 
 
@@ -189,6 +197,89 @@ def recorded_events(
     return out
 
 
+def counter_events(
+    events: Iterable[RecordedEvent],
+    *,
+    cycle_us: float = 1.0,
+    pid: int = TRACE_PID,
+) -> list[dict[str, Any]]:
+    """Counter (``"C"``) events: AVF, IQ occupancy and DVM state tracks.
+
+    Rendered by Perfetto/about:tracing as stacked area charts alongside
+    the slice tracks.  Sources, all in the cycle time domain:
+
+    * ``interval.close`` → "online avf" (iq/rob series), "iq occupancy"
+      (ready/waiting series) and "iq limit", sampled at each interval's
+      end cycle;
+    * ``dvm.sample`` → "dvm" (estimate and wq_ratio);
+    * ``reliability.divergence`` → "<structure> avf" (oracle vs online),
+      emitted at end of run but timestamped at each interval's end.
+    """
+    if cycle_us <= 0:
+        raise ValueError("cycle_us must be positive")
+
+    def counter(name: str, ts_cycles: float, series: dict[str, float]) -> dict[str, Any]:
+        return {
+            "name": name,
+            "cat": "reliability",
+            "ph": "C",
+            "ts": ts_cycles * cycle_us,
+            "pid": pid,
+            "tid": TID_COUNTERS,
+            "args": {k: float(v) for k, v in series.items()},
+        }
+
+    out: list[dict[str, Any]] = []
+    for ev in events:
+        p = ev.payload
+        if ev.topic == "interval.close":
+            end = float(p.get("end_cycle", ev.cycle))
+            out.append(
+                counter(
+                    "online avf",
+                    end,
+                    {
+                        "iq": p.get("online_avf_estimate", 0.0),
+                        "rob": p.get("online_rob_estimate", 0.0),
+                    },
+                )
+            )
+            out.append(
+                counter(
+                    "iq occupancy",
+                    end,
+                    {
+                        "ready": p.get("avg_ready_queue_len", 0.0),
+                        "waiting": p.get("avg_waiting_queue_len", 0.0),
+                    },
+                )
+            )
+            out.append(counter("iq limit", end, {"limit": p.get("iq_limit", 0)}))
+        elif ev.topic == "dvm.sample":
+            out.append(
+                counter(
+                    "dvm",
+                    float(ev.cycle),
+                    {
+                        "estimate": p.get("estimate", 0.0),
+                        "wq_ratio": p.get("wq_ratio", 0.0),
+                    },
+                )
+            )
+        elif ev.topic == "reliability.divergence":
+            out.append(
+                counter(
+                    f"{p.get('structure', 'iq')} avf",
+                    float(p.get("end_cycle", ev.cycle)),
+                    {
+                        "oracle": p.get("oracle_avf", 0.0),
+                        "online": p.get("online_estimate", 0.0),
+                    },
+                )
+            )
+    return out
+
+
 def metadata_events(
     tids: Iterable[int], *, pid: int = TRACE_PID, process_name: str = "repro"
 ) -> list[dict[str, Any]]:
@@ -222,13 +313,20 @@ def build_trace(
     cycle_us: float = 1.0,
     manifest: RunManifest | None = None,
     extra: Mapping[str, Any] | None = None,
+    counters: bool = True,
 ) -> dict[str, Any]:
-    """Assemble the Chrome trace JSON-object document."""
+    """Assemble the Chrome trace JSON-object document.
+
+    ``counters=True`` (the default) additionally lays recorded
+    interval/DVM/divergence events out as ``"C"`` counter tracks.
+    """
     events: list[dict[str, Any]] = []
     if spans:
         events.extend(span_events(spans))
     if recorded:
         events.extend(recorded_events(recorded, cycle_us=cycle_us))
+        if counters:
+            events.extend(counter_events(recorded, cycle_us=cycle_us))
     used_tids = {int(e["tid"]) for e in events} or {TID_SPANS}
     events = metadata_events(used_tids) + events
     other: dict[str, Any] = {"cycle_us": cycle_us, **dict(extra or {})}
@@ -249,10 +347,12 @@ def write_chrome_trace(
     cycle_us: float = 1.0,
     manifest: RunManifest | None = None,
     extra: Mapping[str, Any] | None = None,
+    counters: bool = True,
 ) -> int:
     """Write a trace file; returns the number of non-metadata events."""
     doc = build_trace(
-        spans, recorded, cycle_us=cycle_us, manifest=manifest, extra=extra
+        spans, recorded, cycle_us=cycle_us, manifest=manifest, extra=extra,
+        counters=counters,
     )
     with open(path, "w") as fh:
         json.dump(doc, fh)
@@ -267,6 +367,7 @@ _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "X": ("name", "ts", "dur", "pid", "tid"),
     "i": ("name", "ts", "pid", "tid", "s"),
     "M": ("name", "pid", "tid", "args"),
+    "C": ("name", "ts", "pid", "args"),
 }
 
 
@@ -274,9 +375,12 @@ def validate_trace(doc: Mapping[str, Any]) -> dict[str, int]:
     """Check a trace document's schema and span nesting.
 
     Raises :class:`ValueError` on the first malformed event: unknown or
-    missing phase, missing required keys, negative duration, or two
-    complete events on one track that overlap without one containing
-    the other (ill-formed nesting).  Returns per-phase event counts.
+    missing phase, missing required keys, negative duration, a counter
+    (``"C"``) whose ``args`` is not a mapping of numeric series values,
+    or two complete events on one track that overlap without one
+    containing the other (ill-formed nesting; counters are value
+    samples, not slices, so they are exempt).  Returns per-phase event
+    counts.
     """
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -293,6 +397,19 @@ def validate_trace(doc: Mapping[str, Any]) -> dict[str, int]:
             if key not in ev:
                 raise ValueError(f"traceEvents[{i}] ({ph!r}): missing {key!r}")
         counts[ph] = counts.get(ph, 0) + 1
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, Mapping) or not args:
+                raise ValueError(
+                    f"traceEvents[{i}] (counter): args must be a non-empty "
+                    f"mapping of series values, got {args!r}"
+                )
+            for series, value in args.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"traceEvents[{i}] (counter {ev.get('name')!r}): "
+                        f"series {series!r} has non-numeric value {value!r}"
+                    )
         if ph == "X":
             ts, dur = float(ev["ts"]), float(ev["dur"])
             if dur < 0:

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.isa.instruction import DynInst, OpClass
+from repro.telemetry.bus import EventBus
+from repro.telemetry.topics import TOPIC_RELIABILITY_LATE_ACE
 
 #: Opclasses whose committed instances are ACE roots.
 _ROOTS = frozenset(
@@ -76,7 +78,10 @@ RegisterLifetimeCallback = Callable[["_Record", int], None]
 class _ThreadAnalyzer:
     """Per-thread dynamic def-use liveness analysis."""
 
-    __slots__ = ("window_size", "window", "last_writer", "stats", "_resolve_cb", "_rf_cb")
+    __slots__ = (
+        "window_size", "window", "last_writer", "stats",
+        "_resolve_cb", "_rf_cb", "_owner",
+    )
 
     def __init__(
         self,
@@ -84,6 +89,7 @@ class _ThreadAnalyzer:
         resolve_cb: ResolveCallback | None,
         rf_cb: RegisterLifetimeCallback | None,
         stats: ACEStats,
+        owner: "ACEAnalyzer | None" = None,
     ):
         self.window_size = window_size
         self.window: deque[_Record] = deque()
@@ -91,6 +97,7 @@ class _ThreadAnalyzer:
         self.stats = stats
         self._resolve_cb = resolve_cb
         self._rf_cb = rf_cb
+        self._owner = owner
 
     def commit(self, dyn: DynInst, cycle: int) -> None:
         self.stats.committed += 1
@@ -137,6 +144,15 @@ class _ThreadAnalyzer:
             r.ace = True
             if r.resolved and r.dyn.ace is False:
                 self.stats.late_ace += 1
+                # Rare (a correctly-sized window never hits this), so a
+                # per-occurrence wants() check is fine.
+                bus = self._owner.bus if self._owner is not None else None
+                if bus is not None and bus.wants(TOPIC_RELIABILITY_LATE_ACE):
+                    bus.emit(
+                        TOPIC_RELIABILITY_LATE_ACE,
+                        thread=r.dyn.thread,
+                        total=self.stats.late_ace,
+                    )
             stack.extend(r.producers)
             r.producers = []  # already propagated; release references
 
@@ -192,8 +208,11 @@ class ACEAnalyzer:
         if window_size <= 0:
             raise ValueError("window_size must be positive")
         self.stats = ACEStats()
+        # Attached by the pipeline when telemetry is on; late-ACE
+        # occurrences are then published as ``reliability.late_ace``.
+        self.bus: EventBus | None = None
         self._threads = [
-            _ThreadAnalyzer(window_size, resolve_cb, rf_cb, self.stats)
+            _ThreadAnalyzer(window_size, resolve_cb, rf_cb, self.stats, owner=self)
             for _ in range(num_threads)
         ]
 

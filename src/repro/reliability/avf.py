@@ -17,9 +17,20 @@ Two accountings coexist, exactly as in the paper:
   of *predicted*-ACE bits updated at IQ insert/remove, readable every
   cycle with no oracle knowledge.
 
-Interval AVFs are bucketed by the cycle an instruction left the
-structure, giving the per-interval runtime AVF trace that the PVE
-metric and Figures 8–10 are computed from.
+Interval AVFs are bucketed by the *last cycle an instruction was
+resident* in the structure (leave cycle minus one), giving the
+per-interval runtime AVF trace that the PVE metric and Figures 8–10
+are computed from.  Bucketing by the last resident cycle — not the
+leave cycle itself — keeps the oracle path aligned with the online
+per-cycle accumulation at interval edges: an instruction leaving
+exactly at cycle ``k*L`` was last resident in cycle ``k*L - 1``, which
+the online counter charged to interval ``k-1``.
+
+When an :class:`~repro.telemetry.bus.EventBus` is attached (the
+pipeline does this when telemetry is on), every finalized attribution
+is also published as a ``reliability.attribution`` /
+``reliability.rf`` event, guarded by cached ``wants()`` flags so the
+zero-subscriber path pays one integer compare per resolution.
 """
 
 from __future__ import annotations
@@ -30,6 +41,8 @@ from typing import Protocol
 
 from repro.config import MachineConfig
 from repro.isa.instruction import DynInst, DynState, OpClass
+from repro.telemetry.bus import EventBus
+from repro.telemetry.topics import TOPIC_RELIABILITY_ATTRIBUTION, TOPIC_RELIABILITY_RF
 
 
 class RegisterLifetime(Protocol):
@@ -37,6 +50,13 @@ class RegisterLifetime(Protocol):
 
     commit_cycle: int
     last_read_cycle: int
+    dyn: DynInst
+
+
+def interval_bucket(last_resident_cycle: int, interval_cycles: int) -> int:
+    """The interval index a residency ending at ``last_resident_cycle``
+    is attributed to (shared by the accountant and its observers)."""
+    return max(last_resident_cycle, 0) // interval_cycles
 
 
 class Structure(enum.IntEnum):
@@ -132,6 +152,24 @@ class AVFAccount:
         self._acc = {s: 0 for s in Structure}
         self._interval_acc: dict[Structure, dict[int, int]] = {s: {} for s in Structure}
         self.total_cycles = 0
+        # Optional event bus (the pipeline attaches its bus when
+        # telemetry is on).  wants() is cached against bus.version so
+        # the common no-subscriber case costs one compare per resolve.
+        self.bus: EventBus | None = None
+        self._bus_version = -1
+        self._want_attr = False
+        self._want_rf = False
+
+    def _refresh_wants(self) -> None:
+        bus = self.bus
+        if bus is None:
+            self._want_attr = False
+            self._want_rf = False
+            return
+        if bus.version != self._bus_version:
+            self._bus_version = bus.version
+            self._want_attr = bus.wants(TOPIC_RELIABILITY_ATTRIBUTION)
+            self._want_rf = bus.wants(TOPIC_RELIABILITY_RF)
 
     # ------------------------------------------------------------------
     # Bit classification
@@ -172,29 +210,55 @@ class AVFAccount:
     # ------------------------------------------------------------------
     # Attribution
     # ------------------------------------------------------------------
-    def _add(self, structure: Structure, bit_cycles: int, at_cycle: int) -> None:
+    def _add(self, structure: Structure, bit_cycles: int, last_resident_cycle: int) -> None:
         if bit_cycles <= 0:
             return
         self._acc[structure] += bit_cycles
-        bucket = at_cycle // self.interval_cycles
+        bucket = interval_bucket(last_resident_cycle, self.interval_cycles)
         intervals = self._interval_acc[structure]
         intervals[bucket] = intervals.get(bucket, 0) + bit_cycles
 
     def on_resolved(self, dyn: DynInst) -> None:
         """ACE-analyzer resolution callback: attribute all residencies of
-        a committed instruction."""
+        a committed instruction.
+
+        Each residency is bucketed by its *last resident cycle* (leave
+        cycle minus one), matching the cycle the online counters charged
+        — see the module docstring for the interval-edge rationale.
+        """
+        iq_bc = rob_bc = fu_bc = 0
         if dyn.iq_leave_cycle >= 0 and dyn.dispatch_cycle >= 0:
             res = dyn.iq_leave_cycle - dyn.dispatch_cycle
-            self._add(Structure.IQ, self.iq_bits_oracle(dyn) * res, dyn.iq_leave_cycle)
+            iq_bc = self.iq_bits_oracle(dyn) * res
+            self._add(Structure.IQ, iq_bc, dyn.iq_leave_cycle - 1)
         if dyn.commit_cycle >= 0 and dyn.dispatch_cycle >= 0:
             res = dyn.commit_cycle - dyn.dispatch_cycle
-            self._add(Structure.ROB, self.rob_bits_oracle(dyn) * res, dyn.commit_cycle)
+            rob_bc = self.rob_bits_oracle(dyn) * res
+            self._add(Structure.ROB, rob_bc, dyn.commit_cycle - 1)
         if dyn.issue_cycle >= 0:
             # Memory operations occupy their load/store unit only for
             # address generation; the (pipelined) cache fill does not
             # hold operand latches in the FU.
             res = 1 if dyn.opclass.is_mem else max(dyn.exec_latency, 1)
-            self._add(Structure.FU, self.fu_bits_oracle(dyn) * res, dyn.issue_cycle)
+            fu_bc = self.fu_bits_oracle(dyn) * res
+            self._add(Structure.FU, fu_bc, dyn.issue_cycle + res - 1)
+        self._refresh_wants()
+        if self._want_attr:
+            assert self.bus is not None
+            self.bus.emit(
+                TOPIC_RELIABILITY_ATTRIBUTION,
+                thread=dyn.thread,
+                ace=bool(dyn.ace),
+                quiet=dyn.opclass in _QUIET,
+                iq_slot=dyn.iq_slot,
+                iq_bit_cycles=iq_bc,
+                rob_bit_cycles=rob_bc,
+                fu_bit_cycles=fu_bc,
+                dispatch_cycle=dyn.dispatch_cycle,
+                issue_cycle=dyn.issue_cycle,
+                iq_leave_cycle=dyn.iq_leave_cycle,
+                commit_cycle=dyn.commit_cycle,
+            )
 
     def on_rf_lifetime(self, rec: RegisterLifetime, end_cycle: int) -> None:
         """Register-lifetime callback from the ACE analyzer.
@@ -205,7 +269,18 @@ class AVFAccount:
         """
         if rec.last_read_cycle > rec.commit_cycle:
             cycles = rec.last_read_cycle - rec.commit_cycle
-            self._add(Structure.RF, self.layout.rf_reg_bits * cycles, rec.last_read_cycle)
+            bit_cycles = self.layout.rf_reg_bits * cycles
+            self._add(Structure.RF, bit_cycles, rec.last_read_cycle - 1)
+            self._refresh_wants()
+            if self._want_rf:
+                assert self.bus is not None
+                self.bus.emit(
+                    TOPIC_RELIABILITY_RF,
+                    thread=rec.dyn.thread,
+                    commit_cycle=rec.commit_cycle,
+                    last_read_cycle=rec.last_read_cycle,
+                    bit_cycles=bit_cycles,
+                )
 
     def close(self, total_cycles: int) -> None:
         self.total_cycles = total_cycles

@@ -33,7 +33,12 @@ from dataclasses import dataclass, field
 
 from repro.config import ReliabilityConfig
 from repro.telemetry.bus import EventBus
-from repro.telemetry.topics import TOPIC_DVM_RATIO, TOPIC_DVM_SAMPLE, TOPIC_DVM_TRIGGER
+from repro.telemetry.topics import (
+    TOPIC_DVM_RATIO,
+    TOPIC_DVM_SAMPLE,
+    TOPIC_DVM_TRIGGER,
+    TOPIC_RELIABILITY_ESTIMATE,
+)
 
 
 @dataclass
@@ -95,6 +100,9 @@ class DVMController:
         #: bus so decisions carry cycle/stage stamps.  A private bus
         #: with no subscribers makes every emit a no-op.
         self.bus = EventBus()
+        #: Which structure this controller governs ("iq", or "rob" for
+        #: the ROB-DVM extension); tags ``reliability.estimate`` events.
+        self.structure = "iq"
 
     @property
     def is_static(self) -> bool:
@@ -144,6 +152,14 @@ class DVMController:
                 old_ratio=old_ratio,
                 new_ratio=self.wq_ratio,
                 direction="decrease" if self.wq_ratio < old_ratio else "increase",
+            )
+        if bus.wants(TOPIC_RELIABILITY_ESTIMATE):
+            bus.emit(
+                TOPIC_RELIABILITY_ESTIMATE,
+                structure=self.structure,
+                estimate=est_avf,
+                threshold=self.trigger_threshold,
+                triggered=self.triggered,
             )
 
     def on_l2_miss(self) -> None:

@@ -1,0 +1,450 @@
+"""Streaming AVF attribution: the reliability-observability consumer.
+
+The accountant, ACE analyzer and DVM publish ``reliability.*`` events
+on the telemetry bus (see :mod:`repro.telemetry.topics`); this module
+is their reference consumer.  :class:`ReliabilityObserver` subscribes
+to those streams plus ``interval.close`` and folds them, online, into:
+
+* per-interval, per-structure (IQ/ROB/RF/FU) oracle ACE-bit residency,
+  reproducing the accountant's interval AVF series from the stream;
+* per-thread ACE-bit shares (which context is carrying the
+  vulnerability);
+* fill→issue→dealloc residency histograms
+  (:class:`~repro.telemetry.metrics.StreamingHistogram`);
+* a per-entry IQ occupancy/vulnerability heatmap — slot × interval,
+  spread proportionally across the buckets a residency overlaps;
+* the end-of-run online-vs-oracle divergence series.
+
+``observer.report()`` snapshots all of it as a
+:class:`VulnerabilityReport` with JSON (``to_dict``) and terminal
+(``format``) renderings — the payload behind ``repro avf report``.
+
+The observer is pull-free: everything arrives over the bus, so it works
+identically on a live pipeline, a replayed recording, or a remote
+stream.  Attaching it bumps the bus subscription version, which is what
+flips the accountant's cached ``wants()`` flags on; a run without an
+observer never builds a payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.telemetry.bus import Event, EventBus, Subscription
+from repro.telemetry.metrics import StreamingHistogram
+from repro.telemetry.topics import (
+    TOPIC_INTERVAL_CLOSE,
+    TOPIC_RELIABILITY_ATTRIBUTION,
+    TOPIC_RELIABILITY_DIVERGENCE,
+    TOPIC_RELIABILITY_ESTIMATE,
+    TOPIC_RELIABILITY_LATE_ACE,
+    TOPIC_RELIABILITY_RF,
+)
+
+#: Structure keys used throughout the report (stream payloads use the
+#: same spelling).
+STRUCTURES: tuple[str, ...] = ("iq", "rob", "rf", "fu")
+
+#: Shade ramp for terminal heatmaps (empty → saturated).
+_SHADES = " ░▒▓█"
+
+#: Heatmap rows group this many physical IQ slots.
+SLOT_BIN = 8
+
+
+def _bucket(last_resident_cycle: int, interval_cycles: int) -> int:
+    # Mirrors repro.reliability.avf.interval_bucket; duplicated here so
+    # the observer stays importable without the accountant.
+    return max(last_resident_cycle, 0) // interval_cycles
+
+
+@dataclass
+class VulnerabilityReport:
+    """Snapshot of everything the observer accumulated."""
+
+    total_cycles: int
+    interval_cycles: int
+    intervals: int
+    capacity_bits: dict[str, int]
+    oracle_overall_avf: dict[str, float]
+    oracle_interval_avf: dict[str, list[float]]
+    online_interval_avf: dict[str, list[float]]
+    per_thread_bit_cycles: dict[str, dict[int, int]]
+    residency: dict[str, dict[str, float]]
+    residency_quantiles: dict[str, dict[str, float]]
+    heatmap_occupancy: list[list[float]]
+    heatmap_vulnerability: list[list[float]]
+    divergence: dict[str, dict[str, float]]
+    late_ace: dict[int, int]
+    attributions: int
+    rf_lifetimes: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict (string keys throughout)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "interval_cycles": self.interval_cycles,
+            "intervals": self.intervals,
+            "capacity_bits": dict(self.capacity_bits),
+            "oracle_overall_avf": dict(self.oracle_overall_avf),
+            "oracle_interval_avf": {
+                k: list(v) for k, v in self.oracle_interval_avf.items()
+            },
+            "online_interval_avf": {
+                k: list(v) for k, v in self.online_interval_avf.items()
+            },
+            "per_thread_bit_cycles": {
+                s: {str(t): c for t, c in threads.items()}
+                for s, threads in self.per_thread_bit_cycles.items()
+            },
+            "residency": {k: dict(v) for k, v in self.residency.items()},
+            "residency_quantiles": {
+                k: dict(v) for k, v in self.residency_quantiles.items()
+            },
+            "heatmap_occupancy": [list(r) for r in self.heatmap_occupancy],
+            "heatmap_vulnerability": [list(r) for r in self.heatmap_vulnerability],
+            "divergence": {k: dict(v) for k, v in self.divergence.items()},
+            "late_ace": {str(t): n for t, n in self.late_ace.items()},
+            "attributions": self.attributions,
+            "rf_lifetimes": self.rf_lifetimes,
+        }
+
+    # ------------------------------------------------------------------
+    def _heatmap_lines(self, grid: list[list[float]], title: str) -> list[str]:
+        if not grid or not any(any(row) for row in grid):
+            return [f"{title}: (no samples)"]
+        peak = max(max(row) for row in grid if row) or 1.0
+        lines = [f"{title} (rows: slot groups of {SLOT_BIN}; cols: intervals)"]
+        for r, row in enumerate(grid):
+            cells = "".join(
+                _SHADES[min(int(v / peak * (len(_SHADES) - 1) + 0.999), len(_SHADES) - 1)]
+                for v in row
+            )
+            lo, hi = r * SLOT_BIN, r * SLOT_BIN + SLOT_BIN - 1
+            lines.append(f"  slots {lo:3d}-{hi:3d} |{cells}|")
+        return lines
+
+    def format(self) -> str:
+        """Human-readable terminal rendering."""
+        out: list[str] = [
+            f"Vulnerability report — {self.total_cycles} cycles, "
+            f"{self.intervals} intervals × {self.interval_cycles} cycles",
+            "",
+            f"{'structure':<10} {'oracle AVF':>11} {'online mean':>12} {'capacity':>10}",
+        ]
+        for s in STRUCTURES:
+            online = self.online_interval_avf.get(s, [])
+            online_mean = sum(online) / len(online) if online else float("nan")
+            out.append(
+                f"{s:<10} {self.oracle_overall_avf.get(s, 0.0):>11.4f} "
+                f"{online_mean:>12.4f} {self.capacity_bits.get(s, 0):>10d}"
+            )
+        for s in STRUCTURES:
+            threads = self.per_thread_bit_cycles.get(s) or {}
+            total = sum(threads.values())
+            if total:
+                shares = "  ".join(
+                    f"t{t}={threads[t] / total:.0%}" for t in sorted(threads)
+                )
+                out.append(f"{s} ACE-bit share by thread: {shares}")
+        out.append("")
+        for name in sorted(self.residency):
+            h = self.residency[name]
+            q = self.residency_quantiles.get(name, {})
+            if h.get("count"):
+                out.append(
+                    f"{name}: n={int(h['count'])} mean={h['mean']:.1f} "
+                    f"p50≈{q.get('p50', float('nan')):.0f} "
+                    f"p90≈{q.get('p90', float('nan')):.0f} "
+                    f"max={h['max']:.0f} cycles"
+                )
+        out.append("")
+        out.extend(
+            self._heatmap_lines(self.heatmap_vulnerability, "IQ vulnerability heatmap")
+        )
+        out.extend(
+            self._heatmap_lines(self.heatmap_occupancy, "IQ occupancy heatmap")
+        )
+        if self.divergence:
+            out.append("")
+            for s, d in sorted(self.divergence.items()):
+                out.append(
+                    f"{s} online-vs-oracle divergence: mean |Δ|={d['mean_abs']:.4f} "
+                    f"max |Δ|={d['max_abs']:.4f} over {int(d['intervals'])} intervals"
+                )
+        if self.late_ace:
+            total_late = sum(self.late_ace.values())
+            out.append(f"late-ACE resolutions (window too small): {total_late}")
+        return "\n".join(out)
+
+
+class ReliabilityObserver:
+    """Folds the ``reliability.*`` streams into a vulnerability report.
+
+    Parameters
+    ----------
+    interval_cycles:
+        Bucketing granularity — must match the emitting accountant.
+    capacity_bits:
+        Per-structure capacity (``{"iq": ..., "rob": ..., ...}``), the
+        AVF denominators.
+    iq_slots:
+        Physical IQ entry count (heatmap rows cover slots 0..iq_slots-1).
+    """
+
+    def __init__(
+        self,
+        interval_cycles: int,
+        capacity_bits: Mapping[str, int],
+        iq_slots: int,
+    ):
+        if interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+        if iq_slots <= 0:
+            raise ValueError("iq_slots must be positive")
+        self.interval_cycles = interval_cycles
+        self.capacity_bits = {s: int(capacity_bits.get(s, 0)) for s in STRUCTURES}
+        self.iq_slots = iq_slots
+        # structure -> bucket -> oracle ACE-bit-cycles.
+        self._bits: dict[str, dict[int, int]] = {s: {} for s in STRUCTURES}
+        # structure -> thread -> total ACE-bit-cycles.
+        self._thread_bits: dict[str, dict[int, int]] = {s: {} for s in STRUCTURES}
+        # slot -> bucket -> cycles / bit-cycles (heatmap).
+        self._slot_occ: list[dict[int, int]] = [{} for _ in range(iq_slots)]
+        self._slot_vuln: list[dict[int, int]] = [{} for _ in range(iq_slots)]
+        self.histograms: dict[str, StreamingHistogram] = {
+            "iq_wait": StreamingHistogram(),
+            "iq_residency": StreamingHistogram(),
+            "rob_residency": StreamingHistogram(),
+            "rf_lifetime": StreamingHistogram(),
+        }
+        # interval index -> online estimate, from interval.close.
+        self._online: dict[str, dict[int, float]] = {"iq": {}, "rob": {}}
+        # structure -> list of (oracle - online) divergences.
+        self._divergence: dict[str, list[float]] = {}
+        self.late_ace: dict[int, int] = {}
+        self.estimates: list[tuple[int, str, float, bool]] = []
+        self.attributions = 0
+        self.rf_lifetimes = 0
+        self._max_bucket = -1
+        self._last_cycle = 0
+        self._subs: list[Subscription] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, bus: EventBus) -> "ReliabilityObserver":
+        """Subscribe to every stream this observer consumes."""
+        self._subs = [
+            bus.subscribe(TOPIC_RELIABILITY_ATTRIBUTION, self._on_attribution),
+            bus.subscribe(TOPIC_RELIABILITY_RF, self._on_rf),
+            bus.subscribe(TOPIC_RELIABILITY_LATE_ACE, self._on_late_ace),
+            bus.subscribe(TOPIC_RELIABILITY_ESTIMATE, self._on_estimate),
+            bus.subscribe(TOPIC_RELIABILITY_DIVERGENCE, self._on_divergence),
+            bus.subscribe(TOPIC_INTERVAL_CLOSE, self._on_interval),
+        ]
+        return self
+
+    def detach(self) -> None:
+        for sub in self._subs:
+            sub.close()
+        self._subs = []
+
+    def __enter__(self) -> "ReliabilityObserver":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.detach()
+
+    @classmethod
+    def for_pipeline(cls, pipe: Any) -> "ReliabilityObserver":
+        """Build from a :class:`~repro.core.pipeline.Pipeline` (not yet
+        run) and attach to its bus."""
+        from repro.reliability.avf import Structure
+
+        acct = pipe.avf
+        obs = cls(
+            interval_cycles=acct.interval_cycles,
+            capacity_bits={
+                "iq": acct.capacity_bits(Structure.IQ),
+                "rob": acct.capacity_bits(Structure.ROB),
+                "rf": acct.capacity_bits(Structure.RF),
+                "fu": acct.capacity_bits(Structure.FU),
+            },
+            iq_slots=pipe.machine.iq_size,
+        )
+        return obs.attach(pipe.bus)
+
+    # ------------------------------------------------------------------
+    # Stream handlers
+    # ------------------------------------------------------------------
+    def _add(self, structure: str, thread: int, bit_cycles: int, bucket: int) -> None:
+        if bit_cycles <= 0:
+            return
+        buckets = self._bits[structure]
+        buckets[bucket] = buckets.get(bucket, 0) + bit_cycles
+        threads = self._thread_bits[structure]
+        threads[thread] = threads.get(thread, 0) + bit_cycles
+        if bucket > self._max_bucket:
+            self._max_bucket = bucket
+
+    def _on_attribution(self, ev: Event) -> None:
+        p = ev.payload
+        self.attributions += 1
+        self._last_cycle = max(self._last_cycle, ev.cycle)
+        thread = int(p["thread"])
+        L = self.interval_cycles
+        dispatch = int(p["dispatch_cycle"])
+        issue = int(p["issue_cycle"])
+        leave = int(p["iq_leave_cycle"])
+        commit = int(p["commit_cycle"])
+        self._add("iq", thread, int(p["iq_bit_cycles"]), _bucket(leave - 1, L))
+        self._add("rob", thread, int(p["rob_bit_cycles"]), _bucket(commit - 1, L))
+        if issue >= 0:
+            self._add("fu", thread, int(p["fu_bit_cycles"]), _bucket(issue, L))
+        if leave >= 0 and dispatch >= 0:
+            self.histograms["iq_residency"].observe(max(leave - dispatch, 0))
+            if issue >= 0:
+                self.histograms["iq_wait"].observe(max(issue - dispatch, 0))
+            self._heat(int(p["iq_slot"]), dispatch, leave, int(p["iq_bit_cycles"]))
+        if commit >= 0 and dispatch >= 0:
+            self.histograms["rob_residency"].observe(max(commit - dispatch, 0))
+
+    def _heat(self, slot: int, dispatch: int, leave: int, bit_cycles: int) -> None:
+        """Spread one residency ``[dispatch, leave)`` across the interval
+        buckets it overlaps, proportionally by overlap length."""
+        if not (0 <= slot < self.iq_slots) or leave <= dispatch:
+            return
+        L = self.interval_cycles
+        span = leave - dispatch
+        occ, vuln = self._slot_occ[slot], self._slot_vuln[slot]
+        b = dispatch // L
+        while b * L < leave:
+            overlap = min(leave, (b + 1) * L) - max(dispatch, b * L)
+            if overlap > 0:
+                occ[b] = occ.get(b, 0) + overlap
+                # bit_cycles covers the whole residency; apportion it.
+                vuln[b] = vuln.get(b, 0) + (bit_cycles * overlap) // span
+                if b > self._max_bucket:
+                    self._max_bucket = b
+            b += 1
+
+    def _on_rf(self, ev: Event) -> None:
+        p = ev.payload
+        self.rf_lifetimes += 1
+        thread = int(p["thread"])
+        last_read = int(p["last_read_cycle"])
+        commit = int(p["commit_cycle"])
+        self._add(
+            "rf", thread, int(p["bit_cycles"]), _bucket(last_read - 1, self.interval_cycles)
+        )
+        self.histograms["rf_lifetime"].observe(max(last_read - commit, 0))
+
+    def _on_late_ace(self, ev: Event) -> None:
+        thread = int(ev.payload["thread"])
+        self.late_ace[thread] = self.late_ace.get(thread, 0) + 1
+
+    def _on_estimate(self, ev: Event) -> None:
+        p = ev.payload
+        self.estimates.append(
+            (ev.cycle, str(p["structure"]), float(p["estimate"]), bool(p["triggered"]))
+        )
+
+    def _on_divergence(self, ev: Event) -> None:
+        p = ev.payload
+        self._divergence.setdefault(str(p["structure"]), []).append(
+            float(p["divergence"])
+        )
+
+    def _on_interval(self, ev: Event) -> None:
+        p = ev.payload
+        index = int(p["index"])
+        self._last_cycle = max(self._last_cycle, int(p["end_cycle"]))
+        self._online["iq"][index] = float(p["online_avf_estimate"])
+        self._online["rob"][index] = float(p["online_rob_estimate"])
+        if index > self._max_bucket:
+            self._max_bucket = index
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _n_intervals(self, total_cycles: int) -> int:
+        return max(total_cycles // self.interval_cycles, self._max_bucket + 1, 0)
+
+    def report(self, total_cycles: int | None = None) -> VulnerabilityReport:
+        """Snapshot the accumulated state (callable mid-run or after)."""
+        total = int(total_cycles) if total_cycles is not None else self._last_cycle
+        total = max(total, 1)
+        n = self._n_intervals(total)
+        L = self.interval_cycles
+
+        oracle_interval: dict[str, list[float]] = {}
+        oracle_overall: dict[str, float] = {}
+        for s in STRUCTURES:
+            cap = self.capacity_bits[s]
+            denom_i = cap * L
+            buckets = self._bits[s]
+            oracle_interval[s] = [
+                (buckets.get(i, 0) / denom_i if denom_i else 0.0) for i in range(n)
+            ]
+            denom_o = cap * total
+            oracle_overall[s] = sum(buckets.values()) / denom_o if denom_o else 0.0
+
+        online_interval = {
+            s: [series.get(i, 0.0) for i in range(n)]
+            for s, series in self._online.items()
+        }
+
+        rows = (self.iq_slots + SLOT_BIN - 1) // SLOT_BIN
+        occ_grid = [[0.0] * n for _ in range(rows)]
+        vuln_grid = [[0.0] * n for _ in range(rows)]
+        for slot in range(self.iq_slots):
+            r = slot // SLOT_BIN
+            for b, cyc in self._slot_occ[slot].items():
+                if b < n:
+                    occ_grid[r][b] += cyc / (SLOT_BIN * L)
+            for b, bc in self._slot_vuln[slot].items():
+                if b < n:
+                    vuln_grid[r][b] += bc
+
+        divergence: dict[str, dict[str, float]] = {}
+        for s, deltas in self._divergence.items():
+            abs_d = [abs(d) for d in deltas]
+            divergence[s] = {
+                "mean_abs": sum(abs_d) / len(abs_d),
+                "max_abs": max(abs_d),
+                "intervals": float(len(abs_d)),
+            }
+
+        return VulnerabilityReport(
+            total_cycles=total,
+            interval_cycles=L,
+            intervals=n,
+            capacity_bits=dict(self.capacity_bits),
+            oracle_overall_avf=oracle_overall,
+            oracle_interval_avf=oracle_interval,
+            online_interval_avf=online_interval,
+            per_thread_bit_cycles={
+                s: dict(t) for s, t in self._thread_bits.items()
+            },
+            residency={k: h.get() for k, h in self.histograms.items()},
+            residency_quantiles={
+                k: {"p50": h.quantile(0.5), "p90": h.quantile(0.9)}
+                for k, h in self.histograms.items()
+            },
+            heatmap_occupancy=occ_grid,
+            heatmap_vulnerability=vuln_grid,
+            divergence=divergence,
+            late_ace=dict(self.late_ace),
+            attributions=self.attributions,
+            rf_lifetimes=self.rf_lifetimes,
+        )
+
+
+__all__ = [
+    "ReliabilityObserver",
+    "SLOT_BIN",
+    "STRUCTURES",
+    "VulnerabilityReport",
+]

@@ -109,6 +109,79 @@ class Histogram:
         return out
 
 
+class StreamingHistogram:
+    """Unbounded-range streaming histogram with power-of-two buckets.
+
+    Residency and lifetime measurements (cycles in the IQ, ROB
+    occupancy, register lifetimes) have no natural upper bound, so the
+    fixed-bucket :class:`Histogram` does not fit them.  This variant
+    buckets a non-negative integer ``v`` by ``v.bit_length()`` — bucket
+    ``k`` holds values in ``[2^(k-1), 2^k)`` (bucket 0 holds exactly 0)
+    — keeping O(log max) state for any stream while still answering
+    approximate quantile queries.  One observation is O(1).
+    """
+
+    kind = "streaming-histogram"
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.minimum = 0
+        self.maximum = 0
+
+    def observe(self, value: int) -> None:
+        v = int(value)
+        if v < 0:
+            raise ValueError("StreamingHistogram takes non-negative values")
+        if self.count == 0:
+            self.minimum = v
+            self.maximum = v
+        else:
+            self.minimum = min(self.minimum, v)
+            self.maximum = max(self.maximum, v)
+        self.count += 1
+        self.total += v
+        bucket = v.bit_length()
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile: the geometric midpoint of the
+        bucket holding the ``q``-th observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return float("nan")
+        rank = q * (self.count - 1)
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen > rank:
+                if bucket == 0:
+                    return 0.0
+                lo, hi = 1 << (bucket - 1), (1 << bucket) - 1
+                return math.sqrt(lo * hi)
+        return float(self.maximum)  # pragma: no cover - rank < count always hits
+
+    def get(self) -> dict[str, float]:
+        """Flatten to a JSON-safe summary (same shape as Histogram)."""
+        out: dict[str, float] = {
+            "count": float(self.count),
+            "sum": float(self.total),
+            "min": float(self.minimum) if self.count else float("nan"),
+            "max": float(self.maximum) if self.count else float("nan"),
+            "mean": self.mean,
+        }
+        for bucket in sorted(self.counts):
+            upper = 0 if bucket == 0 else (1 << bucket) - 1
+            out[f"le_{upper}"] = float(self.counts[bucket])
+        return out
+
+
 Metric = Union[Counter, Gauge, Histogram]
 
 

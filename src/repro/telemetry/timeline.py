@@ -162,9 +162,12 @@ def _fmt_payload(topic: str, p: Mapping[str, Any]) -> str:
         return f"flush t{p['thread']} after tag {p['after_tag']}"
     if topic == "harness.point":
         worker = f"w{p['worker']}" if p["worker"] >= 0 else "-"
+        # p.get: recordings from before the avf field lack it.
+        avf = p.get("avf")
+        vuln = f", avf={avf:.3f}" if avf is not None else ""
         return (
             f"point[{p['index']}] {p['label']} -> {p['status']} "
-            f"(attempt={p['attempt']}, worker={worker}, {p['elapsed_ms']:.0f}ms)"
+            f"(attempt={p['attempt']}, worker={worker}, {p['elapsed_ms']:.0f}ms{vuln})"
         )
     return "  ".join(f"{k}={v}" for k, v in sorted(p.items()))
 

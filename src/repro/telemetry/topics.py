@@ -149,9 +149,19 @@ TOPIC_PERF_SPAN = _topic(
 # ----------------------------------------------------------------------
 TOPIC_HARNESS_POINT = _topic(
     "harness.point",
-    ("index", "label", "status", "start_ms", "elapsed_ms", "attempt", "worker"),
+    (
+        "index",
+        "label",
+        "status",
+        "start_ms",
+        "elapsed_ms",
+        "attempt",
+        "worker",
+        "avf",
+    ),
     "one sweep point changed state in the parallel execution engine "
-    "(status: done/cached/retry/skipped; times are ms since sweep start)",
+    "(status: done/cached/retry/skipped; times are ms since sweep start; "
+    "avf is the point's IQ AVF when its metrics carry one, else None)",
 )
 
 # ----------------------------------------------------------------------
@@ -167,6 +177,57 @@ TOPIC_SQUASH = _topic(
     "pipeline.squash",
     ("thread", "after_tag", "insts"),
     "one squash swept a thread's instructions younger than after_tag",
+)
+
+# ----------------------------------------------------------------------
+# Reliability observability (repro.reliability.observe)
+# ----------------------------------------------------------------------
+TOPIC_RELIABILITY_ATTRIBUTION = _topic(
+    "reliability.attribution",
+    (
+        "thread",
+        "ace",
+        "quiet",
+        "iq_slot",
+        "iq_bit_cycles",
+        "rob_bit_cycles",
+        "fu_bit_cycles",
+        "dispatch_cycle",
+        "issue_cycle",
+        "iq_leave_cycle",
+        "commit_cycle",
+    ),
+    "the oracle ACE-ness of one committed instruction became final: the "
+    "AVF accountant attributed its IQ/ROB/FU ACE-bit-cycles (hot; "
+    "guarded by a cached wants() flag in the accountant)",
+)
+
+TOPIC_RELIABILITY_RF = _topic(
+    "reliability.rf",
+    ("thread", "commit_cycle", "last_read_cycle", "bit_cycles"),
+    "one architectural register lifetime closed (register-file ACE-bit "
+    "attribution, producer commit to last read)",
+)
+
+TOPIC_RELIABILITY_LATE_ACE = _topic(
+    "reliability.late_ace",
+    ("thread", "total"),
+    "an instruction was marked ACE after already resolving un-ACE — the "
+    "post-graduation ACE window was too small (total is the running count)",
+)
+
+TOPIC_RELIABILITY_ESTIMATE = _topic(
+    "reliability.estimate",
+    ("structure", "estimate", "threshold", "triggered"),
+    "DVM's structure-tagged online AVF estimate at one sample point, "
+    "with the trigger threshold it was compared against",
+)
+
+TOPIC_RELIABILITY_DIVERGENCE = _topic(
+    "reliability.divergence",
+    ("structure", "index", "end_cycle", "oracle_avf", "online_estimate", "divergence"),
+    "end-of-run online-vs-oracle comparison: one event per interval per "
+    "DVM-governable structure once the oracle interval AVF is final",
 )
 
 

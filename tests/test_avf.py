@@ -4,7 +4,12 @@ import pytest
 
 from repro.config import MachineConfig
 from repro.isa.instruction import DynInst, DynState, OpClass, StaticInst
-from repro.reliability.avf import AVFAccount, AVFBitLayout, Structure
+from repro.reliability.avf import (
+    AVFAccount,
+    AVFBitLayout,
+    Structure,
+    interval_bucket,
+)
 
 
 def make_dyn(tag=1, opclass=OpClass.IALU, ace=True, ace_pred=True,
@@ -168,3 +173,122 @@ class TestCapacity:
         assert acct.capacity_bits(Structure.RF) == (
             max(acct.layout.rf_physical_regs, m.num_threads * 64) * acct.layout.rf_reg_bits
         )
+
+
+class TestIntervalBoundary:
+    """Regression: an instruction leaving *exactly* on an interval edge
+    must be attributed to the interval it was last resident in, matching
+    the cycle-by-cycle online accumulation."""
+
+    def test_interval_bucket_edges(self):
+        assert interval_bucket(99, 100) == 0
+        assert interval_bucket(100, 100) == 1
+        assert interval_bucket(0, 100) == 0
+        # Guard against negative sentinel cycles.
+        assert interval_bucket(-1, 100) == 0
+
+    def test_leave_on_edge_lands_in_previous_interval(self, acct):
+        # Resident cycles 90..99, leaves at cycle 100 (= interval edge).
+        # Last resident cycle is 99 -> interval 0, not interval 1.
+        acct.on_resolved(make_dyn(dispatch=90, iq_leave=100, issue=-1, commit=-1))
+        acct.close(200)
+        series = acct.interval_avf(Structure.IQ)
+        assert series[0] > 0.0
+        assert series[1] == 0.0
+
+    def test_rob_commit_on_edge_lands_in_previous_interval(self, acct):
+        acct.on_resolved(make_dyn(dispatch=95, iq_leave=-1, issue=-1, commit=100))
+        acct.close(200)
+        series = acct.interval_avf(Structure.ROB)
+        assert series[0] > 0.0
+        assert series[1] == 0.0
+
+    def test_fu_completion_on_edge_lands_in_previous_interval(self, acct):
+        # Issue at 96, latency 4: occupies cycles 96..99, done at 100.
+        acct.on_resolved(
+            make_dyn(dispatch=-1, iq_leave=-1, issue=96, commit=-1, latency=4)
+        )
+        acct.close(200)
+        series = acct.interval_avf(Structure.FU)
+        assert series[0] > 0.0
+        assert series[1] == 0.0
+
+    def test_rf_last_read_on_edge_lands_in_previous_interval(self, acct):
+        class Rec:
+            commit_cycle = 60
+            last_read_cycle = 100
+
+        acct.on_rf_lifetime(Rec(), end_cycle=200)
+        acct.close(200)
+        series = acct.interval_avf(Structure.RF)
+        assert series[0] > 0.0
+        assert series[1] == 0.0
+
+    def test_oracle_matches_per_cycle_accumulation(self, acct):
+        """Oracle interval bit-cycles must equal what a per-cycle online
+        counter charging each resident cycle's interval would record,
+        when every residency fits inside one interval."""
+        # Three residencies, each within a single interval, including
+        # one whose leave cycle is exactly the edge.
+        spans = [(0, 40), (60, 100), (150, 180)]  # [dispatch, leave)
+        for tag, (d, l) in enumerate(spans, start=1):
+            acct.on_resolved(
+                make_dyn(tag=tag, dispatch=d, iq_leave=l, issue=-1, commit=-1)
+            )
+        acct.close(300)
+        # Online reference: charge iq_ace bits for every resident cycle.
+        online = {}
+        for d, l in spans:
+            for cycle in range(d, l):
+                b = cycle // acct.interval_cycles
+                online[b] = online.get(b, 0) + acct.layout.iq_ace
+        denom = acct.capacity_bits(Structure.IQ) * acct.interval_cycles
+        expected = [online.get(i, 0) / denom for i in range(3)]
+        assert acct.interval_avf(Structure.IQ) == pytest.approx(expected)
+
+
+class TestBusEmission:
+    def _bus_with(self, topic):
+        from repro.telemetry.bus import EventBus
+
+        bus = EventBus()
+        events = []
+        bus.subscribe(topic, events.append)
+        return bus, events
+
+    def test_attribution_event_carries_bit_cycles(self, acct):
+        from repro.telemetry.topics import TOPIC_RELIABILITY_ATTRIBUTION
+
+        bus, events = self._bus_with(TOPIC_RELIABILITY_ATTRIBUTION)
+        acct.bus = bus
+        acct.on_resolved(make_dyn(dispatch=0, iq_leave=10, issue=10, commit=20))
+        assert len(events) == 1
+        p = events[0].payload
+        assert p["iq_bit_cycles"] == acct.layout.iq_ace * 10
+        assert p["rob_bit_cycles"] == acct.layout.rob_ace * 20
+        assert p["ace"] is True and p["quiet"] is False
+        assert p["iq_leave_cycle"] == 10
+
+    def test_no_subscriber_no_emission(self, acct):
+        from repro.telemetry.bus import EventBus
+
+        acct.bus = EventBus()
+        # Must not raise and must still attribute normally.
+        acct.on_resolved(make_dyn(dispatch=0, iq_leave=10, issue=-1, commit=-1))
+        acct.close(100)
+        assert acct.overall_avf(Structure.IQ) > 0
+
+    def test_rf_event(self, acct):
+        from repro.telemetry.topics import TOPIC_RELIABILITY_RF
+
+        bus, events = self._bus_with(TOPIC_RELIABILITY_RF)
+        acct.bus = bus
+
+        class Rec:
+            commit_cycle = 10
+            last_read_cycle = 40
+            dyn = make_dyn()
+
+        acct.on_rf_lifetime(Rec(), end_cycle=50)
+        assert len(events) == 1
+        assert events[0].payload["bit_cycles"] == acct.layout.rf_reg_bits * 30

@@ -106,7 +106,10 @@ class TestDVMClaims:
             "MEM-A", SCALE, dvm_target=online_target,
             dvm_static_ratio=dyn.dvm_mean_ratio or 2.0,
         )
-        assert dyn.pve(target) <= stat.pve(target) + 0.15
+        # PVE is quantized in units of one warm interval at this scale,
+        # so "not worse" must tolerate a single-interval difference.
+        quantum = 1.0 / max(len(dyn.warm_iq_interval_avf), 1)
+        assert dyn.pve(target) <= stat.pve(target) + quantum
 
 
 class TestFetchPolicySubstrate:

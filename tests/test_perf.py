@@ -17,11 +17,13 @@ from repro.perf.bench import (
     run_benchmarks,
 )
 from repro.perf.chrome_trace import (
+    TID_COUNTERS,
     TID_DVM,
     TID_INTERVALS,
     TID_SPANS,
     TRACE_PID,
     build_trace,
+    counter_events,
     read_trace,
     recorded_events,
     span_events,
@@ -253,6 +255,111 @@ class TestChromeTrace:
     def test_non_json_safe_args_coerced(self):
         (ev,) = span_events([_span("a", 0.0, 1.0, obj={1, 2})])
         json.dumps(ev)  # must not raise
+
+
+def _interval_event(index=0, end_cycle=1000, **extra):
+    payload = {
+        "index": index,
+        "end_cycle": end_cycle,
+        "online_avf_estimate": 0.25,
+        "online_rob_estimate": 0.1,
+        "avg_ready_queue_len": 4.0,
+        "avg_waiting_queue_len": 9.0,
+        "iq_limit": 32,
+        "ipc": 1.5,
+        "l2_misses": 3,
+        **extra,
+    }
+    return RecordedEvent(cycle=end_cycle, stage="tick",
+                         topic="interval.close", payload=payload)
+
+
+class TestCounterEvents:
+    def test_interval_close_produces_counter_tracks(self):
+        out = counter_events([_interval_event()], cycle_us=2.0)
+        names = [e["name"] for e in out]
+        assert names == ["online avf", "iq occupancy", "iq limit"]
+        for ev in out:
+            assert ev["ph"] == "C" and ev["tid"] == TID_COUNTERS
+            assert ev["ts"] == 1000 * 2.0
+        avf = out[0]["args"]
+        assert avf == {"iq": 0.25, "rob": 0.1}
+
+    def test_dvm_sample_counter(self):
+        ev = RecordedEvent(
+            cycle=500, stage="tick", topic="dvm.sample",
+            payload={"estimate": 0.3, "wq_ratio": 2.0},
+        )
+        (out,) = counter_events([ev])
+        assert out["name"] == "dvm" and out["ph"] == "C"
+        assert out["args"] == {"estimate": 0.3, "wq_ratio": 2.0}
+
+    def test_divergence_counter_named_by_structure(self):
+        ev = RecordedEvent(
+            cycle=9999, stage="", topic="reliability.divergence",
+            payload={"structure": "rob", "index": 1, "end_cycle": 2000,
+                     "oracle_avf": 0.2, "online_estimate": 0.18,
+                     "divergence": 0.02},
+        )
+        (out,) = counter_events([ev])
+        assert out["name"] == "rob avf"
+        # Timestamped at the interval's end, not the emission cycle.
+        assert out["ts"] == 2000.0
+        assert out["args"] == {"oracle": 0.2, "online": 0.18}
+
+    def test_validate_accepts_counters(self):
+        doc = build_trace(recorded=[_interval_event()])
+        counts = validate_trace(doc)
+        assert counts["C"] == 3
+
+    def test_counters_toggle_off(self):
+        doc = build_trace(recorded=[_interval_event()], counters=False)
+        assert not any(e["ph"] == "C" for e in doc["traceEvents"])
+
+    def test_validate_rejects_counter_without_args(self):
+        doc = {"traceEvents": [
+            {"name": "c", "ph": "C", "ts": 0, "pid": 1, "tid": 6, "args": {}},
+        ]}
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_trace(doc)
+
+    def test_validate_rejects_counter_missing_args_key(self):
+        doc = {"traceEvents": [{"name": "c", "ph": "C", "ts": 0, "pid": 1}]}
+        with pytest.raises(ValueError, match="missing 'args'"):
+            validate_trace(doc)
+
+    def test_validate_rejects_non_numeric_series(self):
+        doc = {"traceEvents": [
+            {"name": "c", "ph": "C", "ts": 0, "pid": 1, "tid": 6,
+             "args": {"iq": "high"}},
+        ]}
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_trace(doc)
+
+    def test_validate_rejects_bool_series(self):
+        # bool is an int subclass; a counter series of True/False is a
+        # schema bug, not a numeric sample.
+        doc = {"traceEvents": [
+            {"name": "c", "ph": "C", "ts": 0, "pid": 1, "tid": 6,
+             "args": {"armed": True}},
+        ]}
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_trace(doc)
+
+    def test_counters_exempt_from_nesting(self):
+        # Counter samples overlap interval slices on the time axis; the
+        # nesting check must only look at "X" slices.
+        doc = build_trace(
+            recorded=[_interval_event(0, 1000), _interval_event(1, 2000)]
+        )
+        counts = validate_trace(doc)
+        assert counts["X"] == 2 and counts["C"] == 6
+
+    def test_counter_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), recorded=[_interval_event()])
+        counts = validate_trace(read_trace(str(path)))
+        assert counts.get("C", 0) > 0
 
 
 # ----------------------------------------------------------------------

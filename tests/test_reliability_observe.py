@@ -1,0 +1,444 @@
+"""Reliability observability: the streaming observer, the vulnerability
+report, the drift gate, and the online-vs-oracle convergence property."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.config import MachineConfig
+from repro.isa.instruction import DynInst, DynState, OpClass, StaticInst
+from repro.perf.history import entries_of_kind, load_history
+from repro.reliability.avf import AVFAccount, Structure
+from repro.reliability.gate import (
+    KIND_RELIABILITY,
+    STATUS_DRIFT,
+    STATUS_INVALID,
+    STATUS_NEW,
+    STATUS_OK,
+    baseline_value,
+    compare_reliability,
+    headline_numbers,
+    record_reliability,
+)
+from repro.reliability.observe import SLOT_BIN, ReliabilityObserver
+from repro.telemetry.bus import EventBus
+
+L = 100  # interval length used throughout
+
+
+def _dyn(tag=1, thread=0, opclass=OpClass.IALU, ace=True, ace_pred=True,
+         dispatch=0, iq_leave=10, issue=10, commit=20, latency=1,
+         state=DynState.COMMITTED, iq_slot=0):
+    st_ = StaticInst(pc=0x1000 + 4 * tag, opclass=opclass, dest=1, srcs=())
+    d = DynInst(tag=tag, thread=thread, static=st_, stream_pos=tag)
+    d.state = state
+    d.ace = ace
+    d.ace_pred = ace_pred
+    d.dispatch_cycle = dispatch
+    d.iq_leave_cycle = iq_leave
+    d.issue_cycle = issue
+    d.commit_cycle = commit
+    d.exec_latency = latency
+    d.iq_slot = iq_slot
+    return d
+
+
+def _observed_account():
+    """An accountant wired to a bus with an attached observer."""
+    machine = MachineConfig()
+    acct = AVFAccount(machine, interval_cycles=L)
+    bus = EventBus()
+    acct.bus = bus
+    obs = ReliabilityObserver(
+        interval_cycles=L,
+        capacity_bits={
+            "iq": acct.capacity_bits(Structure.IQ),
+            "rob": acct.capacity_bits(Structure.ROB),
+            "rf": acct.capacity_bits(Structure.RF),
+            "fu": acct.capacity_bits(Structure.FU),
+        },
+        iq_slots=machine.iq_size,
+    ).attach(bus)
+    return acct, bus, obs
+
+
+class TestObserverStream:
+    def test_reproduces_accountant_series_from_stream(self):
+        """The observer must rebuild the accountant's interval AVF
+        series purely from bus events (latency-1 residencies within one
+        interval, so FU bucketing is exact too)."""
+        acct, _, obs = _observed_account()
+        acct.on_resolved(_dyn(tag=1, dispatch=10, iq_leave=40, issue=40,
+                              commit=90, iq_slot=2))
+        acct.on_resolved(_dyn(tag=2, thread=1, dispatch=120, iq_leave=180,
+                              issue=180, commit=199, iq_slot=5))
+        acct.close(300)
+        rep = obs.report(300)
+        for s, enum_s in (("iq", Structure.IQ), ("rob", Structure.ROB),
+                          ("fu", Structure.FU)):
+            assert rep.oracle_interval_avf[s] == pytest.approx(
+                acct.interval_avf(enum_s)
+            ), s
+            assert rep.oracle_overall_avf[s] == pytest.approx(
+                acct.overall_avf(enum_s)
+            ), s
+        assert rep.attributions == 2
+
+    def test_per_thread_shares(self):
+        acct, _, obs = _observed_account()
+        acct.on_resolved(_dyn(tag=1, thread=0, dispatch=0, iq_leave=30))
+        acct.on_resolved(_dyn(tag=2, thread=1, dispatch=0, iq_leave=60))
+        acct.close(L)
+        rep = obs.report(L)
+        bits = rep.per_thread_bit_cycles["iq"]
+        assert bits[1] == 2 * bits[0]
+
+    def test_rf_stream(self):
+        acct, _, obs = _observed_account()
+
+        class Rec:
+            commit_cycle = 10
+            last_read_cycle = 40
+            dyn = _dyn(thread=1)
+
+        acct.on_rf_lifetime(Rec(), end_cycle=50)
+        acct.close(L)
+        rep = obs.report(L)
+        assert rep.rf_lifetimes == 1
+        assert rep.oracle_overall_avf["rf"] == pytest.approx(
+            acct.overall_avf(Structure.RF)
+        )
+        assert rep.residency["rf_lifetime"]["count"] == 1
+
+    def test_heatmap_spreads_residency_across_intervals(self):
+        acct, _, obs = _observed_account()
+        # Slot 0, resident [50, 150): half in interval 0, half in 1.
+        acct.on_resolved(_dyn(dispatch=50, iq_leave=150, issue=-1,
+                              commit=-1, iq_slot=0))
+        acct.close(200)
+        rep = obs.report(200)
+        row = rep.heatmap_occupancy[0]  # slots 0..SLOT_BIN-1
+        assert row[0] == pytest.approx(50 / (SLOT_BIN * L))
+        assert row[1] == pytest.approx(50 / (SLOT_BIN * L))
+        vuln = rep.heatmap_vulnerability[0]
+        assert vuln[0] > 0 and vuln[1] > 0
+        assert vuln[0] + vuln[1] <= acct.layout.iq_ace * 100
+
+    def test_residency_histograms(self):
+        acct, _, obs = _observed_account()
+        acct.on_resolved(_dyn(dispatch=0, iq_leave=32, issue=32, commit=64))
+        acct.close(L)
+        h = obs.histograms["iq_residency"]
+        assert h.count == 1 and h.maximum == 32
+        assert obs.histograms["iq_wait"].count == 1
+
+    def test_detach_stops_accumulation(self):
+        acct, _, obs = _observed_account()
+        acct.on_resolved(_dyn(tag=1))
+        obs.detach()
+        acct.on_resolved(_dyn(tag=2))
+        assert obs.attributions == 1
+
+    def test_report_round_trips_as_json(self):
+        acct, _, obs = _observed_account()
+        acct.on_resolved(_dyn())
+        acct.close(L)
+        rep = obs.report(L)
+        doc = json.loads(json.dumps(rep.to_dict()))
+        assert doc["attributions"] == 1
+        assert doc["per_thread_bit_cycles"]["iq"]["0"] > 0
+        text = rep.format()
+        assert "Vulnerability report" in text and "heatmap" in text
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ReliabilityObserver(0, {}, 4)
+        with pytest.raises(ValueError):
+            ReliabilityObserver(L, {}, 0)
+
+
+class TestObservedRun:
+    """End-to-end: a real pipeline with the observer attached."""
+
+    @pytest.fixture(scope="class")
+    def observed(self):
+        from repro.harness.runner import BenchScale, run_observed
+
+        scale = BenchScale(
+            max_cycles=4_000, warmup_cycles=1_000, interval_cycles=1_000,
+            ace_window=1_000, profile_instructions=10_000,
+            profile_window=2_000,
+        )
+        result, observer, recorder = run_observed(
+            "MEM-A", scale, dvm_target=0.3, record=True
+        )
+        return result, observer, recorder
+
+    def test_oracle_matches_result(self, observed):
+        result, observer, _ = observed
+        rep = observer.report(result.cycles)
+        assert rep.attributions > 0
+        assert rep.oracle_overall_avf["iq"] == pytest.approx(
+            result.overall_avf[Structure.IQ], rel=1e-9
+        )
+        assert rep.oracle_interval_avf["iq"] == pytest.approx(
+            result.iq_interval_avf
+        )
+
+    def test_online_series_and_divergence(self, observed):
+        result, observer, _ = observed
+        rep = observer.report(result.cycles)
+        assert len(rep.online_interval_avf["iq"]) == rep.intervals
+        assert "iq" in rep.divergence
+        assert math.isfinite(rep.divergence["iq"]["mean_abs"])
+        # DVM publishes its estimate stream.
+        assert observer.estimates
+        assert all(s == "iq" for _, s, _, _ in observer.estimates)
+
+    def test_recorded_trace_has_counters(self, observed, tmp_path):
+        from repro.perf.chrome_trace import (
+            read_trace,
+            validate_trace,
+            write_chrome_trace,
+        )
+
+        _, _, recorder = observed
+        assert recorder is not None and recorder.events
+        path = tmp_path / "avf-trace.json"
+        write_chrome_trace(str(path), recorded=recorder.events)
+        counts = validate_trace(read_trace(str(path)))
+        assert counts.get("C", 0) > 0
+
+    def test_no_observer_run_unaffected(self, observed):
+        """The same configuration without an observer must produce the
+        identical physics (zero-subscriber fast path is inert)."""
+        from repro.harness.runner import BenchScale, run_sim
+
+        result, _, _ = observed
+        scale = BenchScale(
+            max_cycles=4_000, warmup_cycles=1_000, interval_cycles=1_000,
+            ace_window=1_000, profile_instructions=10_000,
+            profile_window=2_000,
+        )
+        plain = run_sim("MEM-A", scale, dvm_target=0.3)
+        assert plain.iq_avf == pytest.approx(result.iq_avf)
+        assert plain.ipc == pytest.approx(result.ipc)
+
+
+# ----------------------------------------------------------------------
+# Online vs. oracle convergence (property)
+# ----------------------------------------------------------------------
+@st.composite
+def _in_interval_spans(draw):
+    """Residency spans each contained in a single interval; the span's
+    leave cycle may fall exactly on the interval edge."""
+    n = draw(st.integers(1, 10))
+    spans = []
+    for _ in range(n):
+        bucket = draw(st.integers(0, 3))
+        start = draw(st.integers(0, L - 1))
+        end = draw(st.integers(start + 1, L))
+        spans.append((bucket * L + start, bucket * L + end))
+    return spans
+
+
+class TestOnlineOracleConvergence:
+    @settings(max_examples=25, deadline=None)
+    @given(_in_interval_spans())
+    def test_all_ace_workload_converges_exactly(self, spans):
+        """With every instruction committed and correctly predicted ACE,
+        the oracle interval series equals a cycle-by-cycle online
+        accumulation of predicted ACE bits — including spans that leave
+        exactly on an interval edge."""
+        acct = AVFAccount(MachineConfig(), interval_cycles=L)
+        online: dict[int, int] = {}
+        for tag, (d, leave) in enumerate(spans, start=1):
+            dyn = _dyn(tag=tag, dispatch=d, iq_leave=leave, issue=-1,
+                       commit=-1)
+            for cycle in range(d, leave):
+                b = cycle // L
+                online[b] = online.get(b, 0) + acct.iq_bits_pred(dyn)
+            acct.on_resolved(dyn)
+        total = L * (max(leave for _, leave in spans) + L - 1) // L
+        acct.close(max(total, L))
+        denom = acct.capacity_bits(Structure.IQ) * L
+        series = acct.interval_avf(Structure.IQ)
+        for i, v in enumerate(series):
+            assert v == pytest.approx(online.get(i, 0) / denom)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_in_interval_spans(), st.data())
+    def test_squashes_diverge_by_their_predicted_bits(self, spans, data):
+        """Wrong-path squashes are invisible to the online counter but
+        contribute zero oracle bits, so online - oracle must equal
+        exactly the squashed instructions' predicted bit-cycles."""
+        acct = AVFAccount(MachineConfig(), interval_cycles=L)
+        squashed = [data.draw(st.booleans()) for _ in spans]
+        online_total = 0
+        squashed_total = 0
+        for tag, ((d, leave), sq) in enumerate(zip(spans, squashed), start=1):
+            state = DynState.SQUASHED if sq else DynState.COMMITTED
+            dyn = _dyn(tag=tag, dispatch=d, iq_leave=leave, issue=-1,
+                       commit=-1, state=state)
+            contrib = acct.iq_bits_pred(dyn) * (leave - d)
+            online_total += contrib
+            if sq:
+                squashed_total += contrib
+            acct.on_resolved(dyn)
+        acct.close(L)
+        oracle_total = acct.overall_avf(Structure.IQ) * (
+            acct.capacity_bits(Structure.IQ) * acct.total_cycles
+        )
+        assert online_total - oracle_total == pytest.approx(squashed_total)
+
+
+# ----------------------------------------------------------------------
+# Drift gate
+# ----------------------------------------------------------------------
+class TestDriftGate:
+    def _history(self, tmp_path, values_list):
+        path = str(tmp_path / "BENCH_reliability.json")
+        for values in values_list:
+            record_reliability(path, values, context={"test": True})
+        return load_history(path)
+
+    def test_empty_history_all_new_and_passes(self):
+        report = compare_reliability({}, {"baseline_iq_avf": 0.2})
+        assert report.ok
+        assert report.cases[0].status == STATUS_NEW
+        assert report.cases[0].drift is None
+
+    def test_within_band_passes(self, tmp_path):
+        hist = self._history(tmp_path, [{"baseline_iq_avf": 0.20}] * 3)
+        report = compare_reliability(
+            hist, {"baseline_iq_avf": 0.207}, tolerance=0.05
+        )
+        assert report.ok and report.cases[0].status == STATUS_OK
+
+    def test_drift_is_two_sided(self, tmp_path):
+        hist = self._history(tmp_path, [{"avf_reduction": 0.40}] * 3)
+        for current in (0.30, 0.50):  # both directions are suspicious
+            report = compare_reliability(
+                hist, {"avf_reduction": current}, tolerance=0.05
+            )
+            assert not report.ok
+            assert report.cases[0].status == STATUS_DRIFT
+        assert "FAIL" in report.format()
+
+    def test_baseline_is_median_of_window(self, tmp_path):
+        values = [0.10, 0.20, 0.30, 0.40, 0.50, 0.60]
+        hist = self._history(tmp_path, [{"x": v} for v in values])
+        # window 5 -> entries 0.20..0.60 -> median 0.40.
+        assert baseline_value(hist, "x", window=5) == pytest.approx(0.40)
+        assert baseline_value(hist, "x", window=2) == pytest.approx(0.55)
+        assert baseline_value(hist, "missing") is None
+        with pytest.raises(ValueError):
+            baseline_value(hist, "x", window=0)
+
+    def test_nan_current_is_invalid(self, tmp_path):
+        hist = self._history(tmp_path, [{"x": 0.2}])
+        report = compare_reliability(hist, {"x": float("nan")})
+        assert not report.ok
+        assert report.cases[0].status == STATUS_INVALID
+
+    def test_record_wraps_values(self, tmp_path):
+        path = str(tmp_path / "hist.json")
+        entry = record_reliability(path, {"baseline_iq_avf": 0.25},
+                                   context={"mix": "MEM-A"})
+        assert entry["kind"] == KIND_RELIABILITY
+        assert entry["results"]["baseline_iq_avf"] == {"value": 0.25}
+        loaded = entries_of_kind(load_history(path), KIND_RELIABILITY)
+        assert len(loaded) == 1
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reliability({}, {"x": 1.0}, tolerance=-0.1)
+
+    def test_headline_numbers_smoke(self):
+        from repro.harness.runner import BenchScale
+
+        scale = BenchScale(
+            max_cycles=3_000, warmup_cycles=600, interval_cycles=1_000,
+            ace_window=1_000, profile_instructions=10_000,
+            profile_window=2_000,
+        )
+        numbers = headline_numbers(scale)
+        assert set(numbers) == {
+            "baseline_iq_avf", "visa_dvm_iq_avf", "avf_reduction",
+            "baseline_ipc", "visa_dvm_ipc",
+        }
+        assert numbers["baseline_iq_avf"] > 0
+        assert numbers["avf_reduction"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestAvfCli:
+    def test_compare_against_saved_results(self, tmp_path, capsys):
+        hist = tmp_path / "BENCH_reliability.json"
+        record_reliability(str(hist), {"baseline_iq_avf": 0.2},
+                           context={})
+        saved = tmp_path / "current.json"
+        saved.write_text(json.dumps(
+            {"results": {"baseline_iq_avf": {"value": 0.201}}}
+        ))
+        rc = main(["avf", "compare", "--history", str(hist),
+                   "--results", str(saved), "--tolerance", "0.05"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_detects_drift(self, tmp_path, capsys):
+        hist = tmp_path / "BENCH_reliability.json"
+        record_reliability(str(hist), {"baseline_iq_avf": 0.2}, context={})
+        saved = tmp_path / "current.json"
+        saved.write_text(json.dumps({"results": {"baseline_iq_avf": 0.4}}))
+        rc = main(["avf", "compare", "--history", str(hist),
+                   "--results", str(saved)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_malformed_history_is_usage_error(self, tmp_path):
+        hist = tmp_path / "broken.json"
+        hist.write_text("{not json")
+        saved = tmp_path / "current.json"
+        saved.write_text(json.dumps({"results": {"x": 1.0}}))
+        rc = main(["avf", "compare", "--history", str(hist),
+                   "--results", str(saved)])
+        assert rc == 2
+
+    def test_run_appends_history_entry(self, tmp_path, capsys):
+        hist = tmp_path / "BENCH_reliability.json"
+        rc = main(["avf", "run", "--cycles", "3000",
+                   "--history", str(hist)])
+        assert rc == 0
+        assert "appended" in capsys.readouterr().out
+        (entry,) = load_history(str(hist))["entries"]
+        assert entry["kind"] == KIND_RELIABILITY
+        assert entry["results"]["baseline_iq_avf"]["value"] > 0
+
+    def test_report_json_and_trace(self, tmp_path, capsys):
+        from repro.perf.chrome_trace import read_trace, validate_trace
+
+        out = tmp_path / "report.json"
+        trace = tmp_path / "trace.json"
+        rc = main(["avf", "report", "--mix", "MEM-A", "--cycles", "3000",
+                   "--dvm", "0.5", "--json", "-o", str(out),
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["attributions"] > 0
+        assert doc["oracle_overall_avf"]["iq"] > 0
+        counts = validate_trace(read_trace(str(trace)))
+        assert counts.get("C", 0) > 0
+
+    def test_report_text_to_stdout(self, capsys):
+        rc = main(["avf", "report", "--mix", "CPU-A", "--cycles", "3000"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Vulnerability report" in text
+        assert "heatmap" in text
