@@ -1,9 +1,11 @@
 """Built-in simulator-aware checkers.
 
 Importing this package registers every built-in rule; the registry does
-this lazily so ``import repro.analysis`` stays cheap.  The first six
-are per-file (AST-only) rules; the rest are project-wide passes built
-on :mod:`repro.analysis.flow` — four dataflow passes plus the
+this lazily so ``import repro.analysis`` stays cheap.  Per-file
+(AST-only) rules come first; the rest are project-wide passes built
+on :mod:`repro.analysis.flow` — the dataflow passes, the backend
+state-contract pair (``state-contract-drift``,
+``escaped-state-write``) from :mod:`repro.analysis.effects`, and the
 performance/concurrency tier from :mod:`repro.analysis.perfmodel`
 (``hot-loop-alloc``, ``pickle-safety``, ``fork-safety``).
 """
@@ -11,6 +13,7 @@ performance/concurrency tier from :mod:`repro.analysis.perfmodel`
 from repro.analysis.checkers.config_bounds import ConfigBoundsChecker
 from repro.analysis.checkers.counter_balance import CounterBalanceChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.dimension import DimensionChecker
 from repro.analysis.checkers.emit_coverage import EmitCoverageChecker
 from repro.analysis.checkers.event_schema import EventSchemaChecker
 from repro.analysis.checkers.hidden_state import HiddenStateChecker
@@ -18,6 +21,10 @@ from repro.analysis.checkers.nondet_iteration import NondetIterationChecker
 from repro.analysis.checkers.paper_fidelity import PaperFidelityChecker
 from repro.analysis.checkers.slots import SlotsCompletenessChecker
 from repro.analysis.checkers.stage_purity import StagePurityChecker
+from repro.analysis.checkers.state_contract import (
+    EscapedStateWriteChecker,
+    StateContractDriftChecker,
+)
 from repro.analysis.perfmodel.forksafety import (
     ForkSafetyChecker,
     PickleSafetyChecker,
@@ -28,7 +35,10 @@ __all__ = [
     "ConfigBoundsChecker",
     "CounterBalanceChecker",
     "DeterminismChecker",
+    "DimensionChecker",
     "EmitCoverageChecker",
+    "EscapedStateWriteChecker",
+    "StateContractDriftChecker",
     "EventSchemaChecker",
     "HiddenStateChecker",
     "NondetIterationChecker",

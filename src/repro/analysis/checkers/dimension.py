@@ -1,0 +1,50 @@
+"""``dimension-mismatch`` — cycle / bit / bit-cycle unit discipline.
+
+AVF = ACE bit-cycles / (bits × cycles); the quantities all live in
+plain ints and floats, so nothing stops a cycle count from being added
+to a bit-cycle accumulator or an AVF from skipping its ``bits ×
+cycles`` normalization.  This rule seeds dimensions from the
+repository's naming conventions (``*_cycles``, ``*_bits``,
+``*_bit_cycles``, ``*avf*``/``*fraction*``), propagates them through
+local assignments and arithmetic
+(:mod:`repro.analysis.effects.dimensions`), and flags mixed-dimension
+``+``/``-`` and known-dimension assignments/keywords that contradict
+the target's name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.effects.dimensions import check_function
+from repro.analysis.registry import BaseChecker, register
+
+
+@register
+class DimensionChecker(BaseChecker):
+    """Flag arithmetic that mixes cycles, bits and bit-cycles."""
+
+    rule = "dimension-mismatch"
+    description = (
+        "arithmetic mixes cycle/bit/bit-cycle dimensions or drops the "
+        "bits*cycles AVF normalization"
+    )
+
+    def check(self, ctx) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for finding in check_function(node):
+                yield Diagnostic(
+                    path=ctx.path,
+                    line=finding.line,
+                    col=finding.col,
+                    rule=self.rule,
+                    message=finding.message,
+                    severity=Severity.ERROR,
+                    symbol=node.name,
+                    end_line=finding.end_line,
+                    end_col=finding.end_col,
+                )

@@ -37,6 +37,12 @@ class Diagnostic:
     ``rule`` is the registered checker name (the token used in
     ``# lint: disable=<rule>``); ``symbol`` optionally names the
     offending entity (class, attribute, field) for machine consumers.
+
+    ``line``/``col`` follow the AST convention (1-based line, 0-based
+    column); reporters convert to their target convention.  The
+    optional ``end_line``/``end_col`` bound the region when the checker
+    knows it (``end_col`` exclusive, matching ``ast.end_col_offset``);
+    zero means "unset" and reporters fall back to a point region.
     """
 
     path: str
@@ -46,12 +52,14 @@ class Diagnostic:
     message: str
     severity: Severity = Severity.ERROR
     symbol: str = field(default="")
+    end_line: int = 0
+    end_col: int = 0
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.severity} [{self.rule}] {self.message}"
 
     def to_json(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -60,6 +68,10 @@ class Diagnostic:
             "message": self.message,
             "symbol": self.symbol,
         }
+        if self.end_line:
+            payload["end_line"] = self.end_line
+            payload["end_col"] = self.end_col
+        return payload
 
 
 def sort_key(diag: Diagnostic) -> tuple[str, int, int, str]:

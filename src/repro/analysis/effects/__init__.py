@@ -1,0 +1,43 @@
+"""Stage-effect and state-contract analysis over the flow layer.
+
+For every method reachable from the pipeline's ``run`` loop this
+package computes the architectural state it reads and writes —
+``self.*`` attribute paths, container element operations, and writes
+through held references into the IQ/ROB/LSQ/rename/FU objects — folds
+the effects per pipeline stage, and serializes the result as the
+machine-checked ``backend-contract.json`` every backend port is
+reviewed against (ROADMAP item 1).  The same machinery seeds the
+cycle / bit / bit-cycle dimension checker for the paper's AVF math
+(AVF = ACE bit-cycles / (bits × cycles)).
+
+Modules:
+
+* :mod:`~repro.analysis.effects.model` — per-method local effect
+  extraction (alias tracking, container mutators, access locations);
+* :mod:`~repro.analysis.effects.analyze` — interprocedural fold from
+  the ``run`` entry, stage discovery, per-thread partitioning, and
+  SoA-feasibility verdicts per structure;
+* :mod:`~repro.analysis.effects.contract` — canonical contract
+  document build / serialize / diff;
+* :mod:`~repro.analysis.effects.dimensions` — the dimension lattice
+  and per-function propagation behind ``dimension-mismatch``;
+* :mod:`~repro.analysis.effects.cli` — ``repro lint contract``.
+"""
+
+from repro.analysis.effects.analyze import EffectAnalysis, PipelineContract
+from repro.analysis.effects.contract import (
+    build_contract,
+    diff_contracts,
+    render_contract,
+)
+from repro.analysis.effects.model import LocalEffects, extract_local_effects
+
+__all__ = [
+    "EffectAnalysis",
+    "PipelineContract",
+    "LocalEffects",
+    "extract_local_effects",
+    "build_contract",
+    "diff_contracts",
+    "render_contract",
+]

@@ -1,0 +1,100 @@
+"""Canonical backend-contract document: build, serialize, diff.
+
+The contract is the normative statement of what the cycle loop touches
+— the document every backend port (ROADMAP item 1) is reviewed
+against.  Serialization is canonical (sorted keys, two-space indent,
+trailing newline) so ``repro lint contract --write-contract`` is
+byte-reproducible and CI can demand an empty ``git diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.effects.analyze import PipelineContract
+
+CONTRACT_VERSION = 1
+
+#: Conventional file name at the repository root.
+CONTRACT_FILENAME = "backend-contract.json"
+
+
+def build_contract(contract: PipelineContract) -> dict[str, Any]:
+    """The JSON-ready contract document for one extracted pipeline."""
+    return {
+        "version": CONTRACT_VERSION,
+        "pipeline": contract.pipeline,
+        "entry": contract.entry,
+        "stages": [
+            {
+                "name": s.name,
+                "method": s.method,
+                "reads": list(s.reads),
+                "writes": list(s.writes),
+            }
+            for s in contract.stages
+        ],
+        "dependencies": [
+            {"writer": d.writer, "reader": d.reader, "paths": list(d.paths)}
+            for d in contract.dependencies
+        ],
+        "state": {
+            "per_thread": list(contract.per_thread),
+            "shared": list(contract.shared),
+        },
+        "structures": {
+            name: verdict.to_dict() for name, verdict in contract.structures.items()
+        },
+    }
+
+
+def render_contract(doc: dict[str, Any]) -> str:
+    """Canonical serialization (byte-stable across runs and hosts)."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _flatten(value: Any, prefix: str) -> dict[str, Any]:
+    """Leaf map ``dotted.path -> value`` for structural comparison."""
+    out: dict[str, Any] = {}
+    if isinstance(value, dict):
+        if not value:
+            out[prefix] = {}
+        for key in sorted(value):
+            out.update(_flatten(value[key], f"{prefix}.{key}" if prefix else str(key)))
+    elif isinstance(value, list):
+        if not value:
+            out[prefix] = []
+        for i, item in enumerate(value):
+            out.update(_flatten(item, f"{prefix}[{i}]"))
+    else:
+        out[prefix] = value
+    return out
+
+
+def diff_contracts(committed: dict[str, Any], extracted: dict[str, Any]) -> list[str]:
+    """Human-readable differences, empty when the contract holds.
+
+    Each line names the diverging leaf: what the committed contract
+    records vs. what the current tree extracts to.
+    """
+    old = _flatten(committed, "")
+    new = _flatten(extracted, "")
+    lines: list[str] = []
+    for key in sorted(set(old) | set(new)):
+        if key in old and key not in new:
+            lines.append(f"{key}: removed (was {old[key]!r})")
+        elif key not in old and key in new:
+            lines.append(f"{key}: added ({new[key]!r})")
+        elif old[key] != new[key]:
+            lines.append(f"{key}: {old[key]!r} -> {new[key]!r}")
+    return lines
+
+
+def summarize_drift(diffs: list[str], limit: int = 5) -> str:
+    """Compact one-line drift summary for diagnostics."""
+    shown = "; ".join(diffs[:limit])
+    extra = len(diffs) - limit
+    if extra > 0:
+        shown += f"; … {extra} more"
+    return shown

@@ -12,6 +12,11 @@ DVMController.on_sample``); edges are the statically-resolvable calls:
 * ``Class.method(...)`` and ``module.func(...)`` attribute chains
   resolved through the symbol tables.
 
+Names bound by package ``__init__`` re-exports (``from repro.core
+import IssueQueue``) are followed through the import chain to the
+defining module, so subclasses of re-exported classes keep their
+``super()``/MRO edges.
+
 Receiver types of arbitrary expressions are not inferred — a call that
 cannot be resolved simply contributes no edge, keeping the graph a
 conservative *under*-approximation suitable for "no path to X" rules
@@ -117,8 +122,10 @@ class CallGraph:
             if fn.id in mod.functions:
                 return f"{mod.name}.{fn.id}"
             target = mod.imports.get(fn.id)
-            if target is not None and self._lookup_qual(target) is not None:
-                return target
+            if target is not None:
+                node = self._lookup_qual(target)
+                if node is not None:
+                    return node.qualname
             return None
         if not isinstance(fn, ast.Attribute):
             return None
@@ -151,30 +158,78 @@ class CallGraph:
         if target is None:
             return None
         qual = ".".join([target] + rest)
-        return qual if self._lookup_qual(qual) is not None else None
+        node = self._lookup_qual(qual)
+        return node.qualname if node is not None else None
 
     def _lookup_qual(self, qual: str) -> FunctionNode | None:
-        if qual in self.functions:
-            return self.functions[qual]
+        node = self.functions.get(qual)
+        if node is not None:
+            return node
+        # Not a directly-defined function: the prefix may be an alias
+        # bound by a package ``__init__`` re-export (``from repro.core
+        # import IssueQueue``), or the method may be inherited.  Follow
+        # the import chain to the defining module, then the MRO.
+        if "." not in qual:
+            return None
+        prefix, leaf = qual.rsplit(".", 1)
+        resolved = self.resolve_class(prefix)
+        if resolved is not None:
+            owner = self.resolve_method(resolved[0], resolved[1], leaf)
+            return self.functions.get(owner) if owner is not None else None
+        chained = self._follow_exports(qual)
+        if chained is not None and chained != qual:
+            return self._lookup_qual(chained)
+        return None
+
+    def _follow_exports(self, dotted: str) -> str | None:
+        """One step through a ``from x import y`` re-export chain."""
+        if "." not in dotted:
+            return None
+        mod_name, leaf = dotted.rsplit(".", 1)
+        owner = self.modules.get(mod_name)
+        if owner is None:
+            return None
+        return owner.imports.get(leaf)
+
+    def resolve_class(self, dotted: str) -> tuple[ModuleInfo, ClassInfo] | None:
+        """Resolve a dotted name to a project class, following re-export
+        chains through package ``__init__`` modules (``repro.core.
+        IssueQueue`` -> ``repro.core.issue_queue.IssueQueue``)."""
+        seen: set[str] = set()
+        while dotted and dotted not in seen:
+            seen.add(dotted)
+            if "." not in dotted:
+                return None
+            mod_name, leaf = dotted.rsplit(".", 1)
+            owner = self.modules.get(mod_name)
+            if owner is None:
+                return None
+            cls = owner.classes.get(leaf)
+            if cls is not None:
+                return owner, cls
+            nxt = owner.imports.get(leaf)
+            if nxt is None:
+                return None
+            dotted = nxt
         return None
 
     def _bases_of(self, mod: ModuleInfo, cls: ClassInfo) -> list[tuple[ModuleInfo, ClassInfo]]:
         """Direct base classes resolvable inside the project."""
         found: list[tuple[ModuleInfo, ClassInfo]] = []
         for base in cls.bases:
-            head = base.split(".")[0]
-            tail = base.split(".")[-1]
+            parts = base.split(".")
             if base in mod.classes:  # same module, bare name
                 found.append((mod, mod.classes[base]))
                 continue
-            target = mod.imports.get(head)
+            target = mod.imports.get(parts[0])
             if target is None:
                 continue
-            # "from m import C" -> target == m.C; "import m" -> m, tail=C
-            target_mod_name = target.rsplit(".", 1)[0] if target.endswith("." + tail) else target
-            target_mod = self.modules.get(target_mod_name)
-            if target_mod is not None and tail in target_mod.classes:
-                found.append((target_mod, target_mod.classes[tail]))
+            # "from m import C" -> target == m.C; "import m" -> m with
+            # parts[1:] == [C]; either way resolve_class follows any
+            # package-__init__ re-exports down to the defining module.
+            resolved = self.resolve_class(".".join([target] + parts[1:]))
+            if resolved is not None:
+                found.append(resolved)
         return found
 
     def mro(self, mod: ModuleInfo, cls: ClassInfo) -> list[tuple[ModuleInfo, ClassInfo]]:

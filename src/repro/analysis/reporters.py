@@ -71,6 +71,18 @@ def render_sarif(diags: Sequence[Diagnostic]) -> str:
             except ValueError:
                 pass
         uri = uri.replace(os.sep, "/")
+        # SARIF regions are 1-based and end-inclusive; diagnostics
+        # carry the AST convention (0-based columns, exclusive end).
+        start_line = max(diag.line, 1)
+        region = {
+            "startLine": start_line,
+            "startColumn": diag.col + 1,
+        }
+        if diag.end_line:
+            region["endLine"] = max(diag.end_line, start_line)
+            region["endColumn"] = max(diag.end_col + 1, 1)
+            if region["endLine"] == start_line:
+                region["endColumn"] = max(region["endColumn"], region["startColumn"])
         result = {
             "ruleId": diag.rule,
             "level": _SARIF_LEVEL[diag.severity],
@@ -79,10 +91,7 @@ def render_sarif(diags: Sequence[Diagnostic]) -> str:
                 {
                     "physicalLocation": {
                         "artifactLocation": {"uri": uri},
-                        "region": {
-                            "startLine": max(diag.line, 1),
-                            "startColumn": diag.col + 1,
-                        },
+                        "region": region,
                     }
                 }
             ],

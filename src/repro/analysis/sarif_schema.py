@@ -84,6 +84,7 @@ def _check_location(loc: Any, at: str, errors: list[str]) -> None:
     if not isinstance(region, dict):
         errors.append(f"{at}.physicalLocation.region: expected an object")
         return
+    valid: dict[str, int] = {}
     for field in ("startLine", "startColumn", "endLine", "endColumn"):
         if field not in region:
             continue
@@ -93,6 +94,25 @@ def _check_location(loc: Any, at: str, errors: list[str]) -> None:
                 f"{at}.physicalLocation.region.{field}: {value!r} must be an "
                 "integer >= 1"
             )
+        else:
+            valid[field] = value
+    # Region bounds must be ordered: a consumer rendering an inverted
+    # region silently drops the annotation.
+    if "endLine" in valid and "startLine" in valid and valid["endLine"] < valid["startLine"]:
+        errors.append(
+            f"{at}.physicalLocation.region: endLine {valid['endLine']} < "
+            f"startLine {valid['startLine']}"
+        )
+    if (
+        "endColumn" in valid
+        and "startColumn" in valid
+        and valid.get("endLine", valid.get("startLine")) == valid.get("startLine")
+        and valid["endColumn"] < valid["startColumn"]
+    ):
+        errors.append(
+            f"{at}.physicalLocation.region: endColumn {valid['endColumn']} < "
+            f"startColumn {valid['startColumn']} on the same line"
+        )
 
 
 def _check_result(

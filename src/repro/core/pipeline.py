@@ -288,14 +288,14 @@ class SMTPipeline:
         self._int_rql_sum = 0
         self._int_wql_sum = 0
         self._int_l2_base = 0
-        self._int_online_bits = 0
-        self._sample_bits = 0
+        self._int_online_bit_cycles = 0
+        self._sample_bit_cycles = 0
         self._sample_cycles = 0
         self.intervals: list[IntervalRecord] = []
         # ROB-DVM extension: running predicted-ACE bits resident in the
         # ROBs (maintained at dispatch/commit/squash).
         self.rob_pred_ace_bits = 0
-        self._int_online_rob_bits = 0
+        self._int_online_rob_bit_cycles = 0
 
         # Warm-up bookkeeping.
         self._warm_committed_pt = [0] * n
@@ -737,12 +737,12 @@ class SMTPipeline:
         rql = iq.ready_count
         self._int_rql_sum += rql
         self._int_wql_sum += iq.waiting_count
-        self._int_online_bits += iq.pred_ace_bits
-        self._int_online_rob_bits += self.rob_pred_ace_bits
+        self._int_online_bit_cycles += iq.pred_ace_bits
+        self._int_online_rob_bit_cycles += self.rob_pred_ace_bits
         if self.dvm_structure == Structure.ROB:
-            self._sample_bits += self.rob_pred_ace_bits
+            self._sample_bit_cycles += self.rob_pred_ace_bits
         else:
-            self._sample_bits += iq.pred_ace_bits
+            self._sample_bit_cycles += iq.pred_ace_bits
         self._sample_cycles += 1
         if self._hist is not None and cycle >= self.sim.warmup_cycles:
             self._hist[rql] += 1
@@ -752,12 +752,12 @@ class SMTPipeline:
         if dvm is not None and cycle % rel.dvm_ratio_period == 0:
             dvm.recompute_ratio_gate(iq.waiting_count, iq.ready_count)
         if (cycle + 1) % self._sample_period == 0:
-            est = self._sample_bits / (
+            est = self._sample_bit_cycles / (
                 self._sample_cycles * self.avf.capacity_bits(self.dvm_structure)
             )
             if dvm is not None:
                 dvm.on_sample(est)
-            self._sample_bits = 0
+            self._sample_bit_cycles = 0
             self._sample_cycles = 0
         if (cycle + 1) % rel.interval_cycles == 0:
             self._close_interval()
@@ -784,10 +784,10 @@ class SMTPipeline:
             avg_ready_queue_len=snap.avg_ready_queue_len,
             avg_waiting_queue_len=self._int_wql_sum / cycles,
             l2_misses=snap.l2_misses,
-            online_avf_estimate=self._int_online_bits / (cycles * capacity),
+            online_avf_estimate=self._int_online_bit_cycles / (cycles * capacity),
             iq_limit=self.dispatch_policy.iq_limit,
             online_rob_estimate=(
-                self._int_online_rob_bits
+                self._int_online_rob_bit_cycles
                 / (cycles * self.avf.capacity_bits(Structure.ROB))
             ),
         )
@@ -812,8 +812,8 @@ class SMTPipeline:
         self._int_committed_pt = [0] * self.num_threads
         self._int_rql_sum = 0
         self._int_wql_sum = 0
-        self._int_online_bits = 0
-        self._int_online_rob_bits = 0
+        self._int_online_bit_cycles = 0
+        self._int_online_rob_bit_cycles = 0
         self._int_l2_base = l2_now
 
     # ==================================================================

@@ -1,9 +1,10 @@
 """Deterministic hot-path benchmark suite (min-of-N wall clock).
 
-Five cases cover the paths every perf-sensitive PR touches: the bare
+The cases cover the paths every perf-sensitive PR touches: the bare
 pipeline cycle loop, issue/select scheduling, the DVM controller's
-interval-rate decision path, the interval resource allocator, and a
-warm-cache lint run.  Each case's ``make`` factory builds *all* state
+interval-rate decision path, the interval resource allocator, a
+warm-cache lint run, backend-contract extraction, and the parallel
+harness engine.  Each case's ``make`` factory builds *all* state
 up front and returns a closure whose body is only the hot path, so the
 timed region measures the code under test and nothing else.  Inputs
 are fixed by :data:`PERF_SCALE` (or an explicit scale) and seeded
@@ -178,6 +179,30 @@ def _make_lint_warm(scale: BenchScale) -> Callable[[], None]:
     return run
 
 
+def _make_contract_extract(scale: BenchScale) -> Callable[[], None]:
+    """Backend-contract extraction over the core package.
+
+    Parses ``repro.core`` once up front; the timed region is the
+    effect-analysis pipeline itself — local extraction, the
+    interprocedural fold from ``run``, stage discovery, partitioning
+    and SoA verdicts — the cost every ``repro lint contract`` run and
+    ``state-contract-drift`` project pass pays.
+    """
+    from repro.analysis.effects.analyze import PipelineContract
+    from repro.analysis.effects.contract import build_contract, render_contract
+    from repro.analysis.perfmodel.cli import build_project
+
+    import repro
+
+    target = os.path.join(os.path.dirname(os.path.abspath(repro.__file__)), "core")
+    project = build_project([target])
+
+    def run() -> None:
+        render_contract(build_contract(PipelineContract(project)))
+
+    return run
+
+
 def _make_parallel_sweep(scale: BenchScale) -> Callable[[], None]:
     """Harness-engine orchestration + checkpoint IO over a warm grid.
 
@@ -231,6 +256,11 @@ BENCH_CASES: tuple[BenchCase, ...] = (
         "lint_warm",
         "warm-cache repro.lint per-file run (telemetry package)",
         _make_lint_warm,
+    ),
+    BenchCase(
+        "contract_extract",
+        "backend-contract extraction (effect fold + verdicts) over repro.core",
+        _make_contract_extract,
     ),
     BenchCase(
         "parallel_sweep",

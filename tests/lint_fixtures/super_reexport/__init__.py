@@ -1,0 +1,8 @@
+"""Regression fixture: a package ``__init__`` re-exporting a base
+class, mirroring how ``repro.core`` re-exports its structures.  A
+subclass importing ``Base`` from the *package* (not the defining
+module) must still get its ``super()``/MRO call edges resolved."""
+
+from tests.lint_fixtures.super_reexport.base import Base
+
+__all__ = ["Base"]

@@ -1,0 +1,12 @@
+"""Defining module of the re-exported base class."""
+
+
+class Base:
+    def __init__(self) -> None:
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def tick(self) -> None:
+        self.count += 1

@@ -1,0 +1,11 @@
+"""Subclass importing the base through the package re-export."""
+
+from tests.lint_fixtures.super_reexport import Base
+
+
+class Sub(Base):
+    def reset(self) -> None:
+        super().reset()
+
+    def spin(self) -> None:
+        self.tick()  # inherited: resolves through the re-exported MRO

@@ -180,6 +180,87 @@ class TestSuppressions:
         assert LintEngine(["paper-fidelity"]).run([str(tmp_path)]) == []
 
 
+class TestSuppressionBaselineInteraction:
+    """Multi-rule inline directives combined with ``--baseline``: a
+    finding both suppressed and baselined is absorbed exactly once (by
+    the suppression, before the baseline filter) and the unused
+    baseline budget raises no warnings."""
+
+    #: two findings on one line, both silenced by one directive.
+    SUPPRESSED = (
+        "import random\n"
+        "import time\n"
+        "x = (random.random(), time.time())"
+        "  # lint: disable=determinism, slots\n"
+    )
+    #: same findings, no directive — what the baseline was written from.
+    UNSUPPRESSED = (
+        "import random\n"
+        "import time\n"
+        "x = (random.random(), time.time())\n"
+    )
+
+    def test_suppressed_and_baselined_counts_once(self, capsys, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text(self.UNSUPPRESSED)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(["--no-cache", "--write-baseline", str(baseline), str(bad)]) == 0
+        # Baseline absorbs the unsuppressed findings.
+        assert lint_main(["--no-cache", "--baseline", str(baseline), str(bad)]) == 0
+        # Now also suppress them inline: still exit 0, no double
+        # accounting, and no stale/suppress warnings about the unused
+        # baseline budget.
+        bad.write_text(self.SUPPRESSED)
+        capsys.readouterr()
+        assert lint_main(["--no-cache", "--baseline", str(baseline), str(bad)]) == 0
+        out = capsys.readouterr()
+        assert "no problems found" in out.out
+        assert "suppress" not in out.out and "stale" not in out.out.lower()
+        assert out.err == ""
+
+    def test_baseline_budget_not_consumed_by_suppressed_finding(self, capsys, tmp_path):
+        # One baselined finding, two identical sites: with one site
+        # suppressed inline the baseline budget must still absorb the
+        # other (the suppressed finding never reaches the filter).
+        two_sites = tmp_path / "mod.py"
+        two_sites.write_text("import random\nx = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            ["--no-cache", "--rules", "determinism", "--write-baseline", str(baseline), str(two_sites)]
+        ) == 0
+        two_sites.write_text(
+            "import random\n"
+            "x = random.random()  # lint: disable=determinism, slots\n"
+            "y = random.random()\n"
+        )
+        capsys.readouterr()
+        assert lint_main(
+            ["--no-cache", "--rules", "determinism", "--baseline", str(baseline), str(two_sites)]
+        ) == 0
+        assert "no problems found" in capsys.readouterr().out
+
+    def test_second_regression_still_fails_past_suppression(self, capsys, tmp_path):
+        # The suppression only covers its own line: a third identical
+        # site exceeds the baseline count and fails the gate.
+        mod = tmp_path / "mod.py"
+        mod.write_text("import random\nx = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            ["--no-cache", "--rules", "determinism", "--write-baseline", str(baseline), str(mod)]
+        ) == 0
+        mod.write_text(
+            "import random\n"
+            "x = random.random()  # lint: disable=determinism, slots\n"
+            "y = random.random()\n"
+            "z = random.random()\n"
+        )
+        capsys.readouterr()
+        assert lint_main(
+            ["--no-cache", "--rules", "determinism", "--baseline", str(baseline), str(mod)]
+        ) == 1
+        capsys.readouterr()
+
+
 class TestEngine:
     def test_syntax_error_becomes_diagnostic(self):
         diags = LintEngine().check_source("def broken(:\n")

@@ -285,6 +285,72 @@ class TestCallGraph:
         )
         assert not graph.reaches_emit("m.even")
 
+    def test_super_resolves_through_package_reexport(self):
+        # Regression: a base class imported from a package __init__
+        # (``from pkg import Base``) used to leave super()/MRO edges
+        # unresolved because the alias chain through the re-exporting
+        # __init__ module was never followed.
+        graph, mods = graph_of(
+            **{
+                "pkg": """
+                from pkg.base import Base
+                """,
+                "pkg.base": """
+                class Base:
+                    def reset(self):
+                        pass
+                    def tick(self):
+                        pass
+                """,
+                "pkg.sub": """
+                from pkg import Base
+                class Sub(Base):
+                    def reset(self):
+                        super().reset()
+                    def spin(self):
+                        self.tick()
+                """,
+            }
+        )
+        assert graph.callees("pkg.sub.Sub.reset") == ["pkg.base.Base.reset"]
+        assert graph.callees("pkg.sub.Sub.spin") == ["pkg.base.Base.tick"]
+        mro = graph.mro(mods["pkg.sub"], mods["pkg.sub"].classes["Sub"])
+        assert [c.qualname for _, c in mro] == ["pkg.sub.Sub", "pkg.base.Base"]
+
+    def test_classmethod_chain_through_reexport(self):
+        graph, _ = graph_of(
+            **{
+                "pkg": """
+                from pkg.base import Base
+                """,
+                "pkg.base": """
+                class Base:
+                    def tick(self):
+                        pass
+                """,
+                "pkg.user": """
+                from pkg import Base
+                def drive(obj):
+                    Base.tick(obj)
+                """,
+            }
+        )
+        assert graph.callees("pkg.user.drive") == ["pkg.base.Base.tick"]
+
+    def test_super_reexport_disk_fixture(self):
+        paths = [
+            fixture(os.path.join("super_reexport", name))
+            for name in ("__init__.py", "base.py", "sub.py")
+        ]
+        modules = {}
+        for path in paths:
+            info = build_module_info(path, ast.parse(open(path).read()))
+            modules[info.name] = info
+        graph = CallGraph(modules)
+        pkg = "tests.lint_fixtures.super_reexport"
+        assert graph.callees(f"{pkg}.sub.Sub.reset") == [f"{pkg}.base.Base.reset"]
+        assert graph.callees(f"{pkg}.sub.Sub.spin") == [f"{pkg}.base.Base.tick"]
+
 
 # ----------------------------------------------------------------------
 # The four project passes, against their fixtures

@@ -509,6 +509,7 @@ class TestBenchSuite:
             "dvm_interval",
             "resource_alloc",
             "lint_warm",
+            "contract_extract",
             "parallel_sweep",
         }
         assert all(c.description for c in BENCH_CASES)

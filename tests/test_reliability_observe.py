@@ -94,8 +94,8 @@ class TestObserverStream:
         acct.on_resolved(_dyn(tag=2, thread=1, dispatch=0, iq_leave=60))
         acct.close(L)
         rep = obs.report(L)
-        bits = rep.per_thread_bit_cycles["iq"]
-        assert bits[1] == 2 * bits[0]
+        bit_cycles = rep.per_thread_bit_cycles["iq"]
+        assert bit_cycles[1] == 2 * bit_cycles[0]
 
     def test_rf_stream(self):
         acct, _, obs = _observed_account()

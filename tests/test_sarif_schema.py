@@ -36,6 +36,50 @@ class TestValidDocuments:
         assert validate_sarif(doc) == []
 
 
+class TestRegions:
+    """The reporter must emit 1-based, ordered region bounds."""
+
+    def region_of(self, doc):
+        return doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"]["region"]
+
+    def test_point_region_converts_zero_based_column(self):
+        region = self.region_of(make_doc([diag(line=10, col=0)]))
+        assert region == {"startLine": 10, "startColumn": 1}
+
+    def test_span_region_emits_one_based_end_bounds(self):
+        # AST span: line 10 cols [2, 7) -> SARIF 1-based columns 3..8.
+        region = self.region_of(make_doc([diag(line=10, col=2, end_line=10, end_col=7)]))
+        assert region == {
+            "startLine": 10,
+            "startColumn": 3,
+            "endLine": 10,
+            "endColumn": 8,
+        }
+        assert validate_sarif(make_doc([diag(end_line=10, end_col=7)])) == []
+
+    def test_multiline_span(self):
+        region = self.region_of(make_doc([diag(line=10, col=4, end_line=12, end_col=0)]))
+        assert region["endLine"] == 12 and region["endColumn"] == 1
+
+    def test_degenerate_span_is_clamped_ordered(self):
+        # A checker handing back an inverted span must not produce a
+        # region consumers drop.
+        doc = make_doc([diag(line=10, col=5, end_line=10, end_col=1)])
+        region = self.region_of(doc)
+        assert region["endColumn"] >= region["startColumn"]
+        assert validate_sarif(doc) == []
+
+    def test_validator_rejects_inverted_columns(self):
+        doc = make_doc([diag(end_line=10, end_col=9)])
+        self.region_of(doc)["endColumn"] = 1
+        assert any("endColumn" in e and "startColumn" in e for e in validate_sarif(doc))
+
+    def test_validator_rejects_inverted_lines(self):
+        doc = make_doc([diag(line=10, end_line=12, end_col=3)])
+        self.region_of(doc)["endLine"] = 4
+        assert any("endLine" in e and "startLine" in e for e in validate_sarif(doc))
+
+
 class TestViolations:
     def test_wrong_version(self):
         doc = make_doc()
