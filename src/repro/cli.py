@@ -6,6 +6,7 @@ Commands
 ``timeline``    render the merged interval/decision timeline of one run
 ``sweep``       run a parameter grid (optionally parallel, checkpointed)
 ``figures``     run several figure/table suites (optionally parallel)
+``monitor``     attach to a live (or finished) sweep's status document
 ``perf``        performance observability: bench suite, regression gate,
                 Chrome-trace export (see ``repro.perf.cli``)
 ``profile``     offline per-PC vulnerability profiling of one benchmark
@@ -21,7 +22,8 @@ Examples::
     python -m repro timeline --mix MEM-A --dvm 0.5 --dispatch opt2 --chart
     python -m repro timeline --input timeline.jsonl --trace-out timeline-trace.json
     python -m repro sweep --mix MEM-A --axis scheduler=oldest,visa \\
-        --axis dispatch=none,opt1,opt2 --jobs 4 --resume
+        --axis dispatch=none,opt1,opt2 --jobs 4 --resume --serve :9099
+    python -m repro monitor reports/sweep-ab12cd34ef56.jsonl
     python -m repro figures fig5 fig8 --jobs 2 --resume --save
     python -m repro perf run --repeats 3
     python -m repro perf compare --tolerance 0.25
@@ -51,7 +53,12 @@ from repro.telemetry.timeline import (
     render_timeline,
     timeline_json,
 )
-from repro.telemetry.topics import TOPIC_HARNESS_POINT
+from repro.telemetry.topics import (
+    TOPIC_HARNESS_POINT,
+    TOPIC_INTERVAL_CLOSE,
+    TOPIC_RELIABILITY_ESTIMATE,
+    TOPIC_WORKER_HEALTH,
+)
 from repro.isa.generator import generate_program
 from repro.isa.personalities import PERSONALITIES
 from repro.reliability.avf import Structure
@@ -224,8 +231,13 @@ def _progress_printer(event) -> None:
     p = event.payload
     worker = f" w{p['worker']}" if p["worker"] >= 0 else ""
     timing = f" {p['elapsed_ms']:.0f}ms" if p["status"] == "done" else ""
+    vuln = ""
     avf = p.get("avf")
-    vuln = f" avf={avf:.3f}" if avf is not None else ""
+    if avf is not None:
+        vuln += f" avf={avf:.3f}"
+    rob_avf = p.get("rob_avf")
+    if rob_avf is not None:
+        vuln += f" rob={rob_avf:.3f}"
     print(
         f"  [{p['status']:>7}] {p['label']}{worker}{timing}{vuln}",
         file=sys.stderr,
@@ -239,12 +251,21 @@ def _engine_kwargs(args) -> dict:
         checkpoint = None
     elif getattr(args, "checkpoint", None):
         checkpoint = args.checkpoint
+    monitor: parallel_mod.MonitorConfig | None = None
+    if getattr(args, "serve", None) or getattr(args, "log", None):
+        from repro.telemetry.export import parse_serve_spec
+
+        monitor = parallel_mod.MonitorConfig(
+            serve=parse_serve_spec(args.serve) if args.serve else None,
+            log_path=args.log,
+        )
     return dict(
         jobs=args.jobs,
         checkpoint=checkpoint,
         resume=args.resume,
         timeout=args.timeout,
         retries=args.retries,
+        monitor=monitor,
     )
 
 
@@ -274,7 +295,19 @@ def cmd_sweep(args) -> int:
         fixed.update(_parse_kwargs(spec))
 
     bus = EventBus()
-    recorder = TimelineRecorder(bus, topics=(TOPIC_HARNESS_POINT,))
+    # Besides the engine's own harness.point stream, record whatever
+    # pool workers relay onto the parent bus (interval samples, online
+    # AVF estimates, heartbeats) so --record/--trace-out show per-worker
+    # in-flight telemetry, not just point boundaries.
+    recorder = TimelineRecorder(
+        bus,
+        topics=(
+            TOPIC_HARNESS_POINT,
+            TOPIC_INTERVAL_CLOSE,
+            TOPIC_RELIABILITY_ESTIMATE,
+            TOPIC_WORKER_HEALTH,
+        ),
+    )
     if not args.quiet:
         bus.subscribe(TOPIC_HARNESS_POINT, _progress_printer)
     try:
@@ -347,6 +380,27 @@ def cmd_figures(args) -> int:
             print(f"saved to {path}", file=sys.stderr)
     _report_engine_run(run, "figures")
     return 0
+
+
+def cmd_monitor(args) -> int:
+    from repro.telemetry.export import watch_status
+
+    try:
+        return watch_status(
+            args.checkpoint, interval_s=args.interval, once=args.once
+        )
+    except FileNotFoundError:
+        print(
+            f"error: no status document for {args.checkpoint!r} — run the "
+            f"sweep with --jobs 2+ (monitoring writes <checkpoint>.status.json)",
+            file=sys.stderr,
+        )
+        return 1
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
 
 
 def cmd_profile(args) -> int:
@@ -494,6 +548,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="save the harness.point event stream as JSONL")
     p_sw.add_argument("--trace-out", metavar="PATH", default=None,
                       help="export per-worker point tracks as Chrome trace JSON")
+    p_sw.add_argument("--serve", metavar="[HOST]:PORT", default=None,
+                      help="serve live /metrics (Prometheus) and /status "
+                           "(JSON) while the sweep runs, e.g. --serve :9099")
+    p_sw.add_argument("--log", metavar="PATH", default=None,
+                      help="append structured JSONL run logs (engine + "
+                           "workers, correlated by run id)")
     p_sw.set_defaults(func=cmd_sweep)
 
     p_fig = sub.add_parser(
@@ -515,7 +575,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--save", action="store_true",
                        help="write reports/<name>.txt per suite")
     p_fig.add_argument("--quiet", action="store_true")
+    p_fig.add_argument("--serve", metavar="[HOST]:PORT", default=None,
+                       help="serve live /metrics and /status while running")
+    p_fig.add_argument("--log", metavar="PATH", default=None,
+                       help="append structured JSONL run logs")
     p_fig.set_defaults(func=cmd_figures)
+
+    p_mon = sub.add_parser(
+        "monitor", help="attach to a sweep's live/final status document"
+    )
+    p_mon.add_argument("checkpoint",
+                       help="checkpoint shard or .status.json path")
+    p_mon.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes (default 2)")
+    p_mon.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit")
+    p_mon.set_defaults(func=cmd_monitor)
 
     register_perf_cli(sub)
     register_avf_cli(sub)

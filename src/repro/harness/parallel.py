@@ -21,12 +21,23 @@ keeping three hard guarantees:
   instead of aborting the sweep, unless ``strict=True``.
 
 Progress flows over the telemetry bus as ``harness.point`` events
-(status ``done``/``cached``/``retry``/``skipped``), which ``repro
-timeline`` renders and the Chrome-trace exporter lays out as per-worker
-point tracks.  Worker processes populate their own ``run_sim`` memo
-caches: the pool initializer broadcasts the (mix, scale, profiled)
-tuples of the sweep so each worker profiles its programs once instead
-of once per point.
+(status ``done``/``cached``/``retry``/``stalled``/``skipped``), which
+``repro timeline`` renders and the Chrome-trace exporter lays out as
+per-worker point tracks.  Worker processes populate their own
+``run_sim`` memo caches: the pool initializer broadcasts the
+(mix, scale, profiled) tuples of the sweep so each worker profiles its
+programs once instead of once per point.
+
+Pool runs are additionally *observable as a fleet* (see
+``docs/observability.md``): the initializer wires each worker's
+ambient bus to a :class:`~repro.telemetry.relay.WorkerRelay` and a
+:class:`~repro.harness.health.HeartbeatEmitter`, the parent pumps the
+shared relay queue from its wait loop (re-publishing worker events
+with slot/pid attribution and folding heartbeats into per-worker
+gauges), a worker silent beyond the stall threshold yields a
+**stalled** disposition distinct from a timeout, and the engine
+serves/persists a Prometheus + JSON status view of all of it
+(:mod:`repro.telemetry.export`).
 
 Wall-clock reads below time harness work (point spans, backoff, wait
 deadlines) and never feed simulated results.
@@ -38,6 +49,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
 import time
 from collections.abc import Callable, Mapping, Sequence
@@ -49,8 +61,18 @@ from typing import Any
 
 from repro.harness import replication as replication_mod
 from repro.harness import sweep as sweep_mod
-from repro.harness.runner import BenchScale, get_programs, run_sim
+from repro.harness.health import HealthMonitor, HeartbeatEmitter, MonitorConfig
+from repro.harness.runner import (
+    BenchScale,
+    get_programs,
+    run_sim,
+    set_ambient_bus,
+)
 from repro.telemetry.bus import EventBus
+from repro.telemetry.export import MetricsServer, status_path_for, write_status
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.relay import RelayDrain, WorkerRelay
+from repro.telemetry.runlog import get_run_logger, setup_run_logging
 from repro.telemetry.topics import TOPIC_HARNESS_POINT
 
 #: Checkpoint shard format version (header field ``version``).
@@ -62,10 +84,19 @@ DEFAULT_REPORTS_DIR = "reports"
 #: Upper bound on one retry-round backoff sleep.
 BACKOFF_CAP_S = 4.0
 
-#: Env var for fault injection in workers (``"<mode>:<label-substring>"``
-#: with mode ``raise`` or ``exit``) — used by the failure-path tests and
-#: for rehearsing degraded runs.
+#: Env var for fault injection in workers — used by the failure-path
+#: tests and for rehearsing degraded runs.  Formats:
+#: ``raise:<label-substring>`` (raise in the worker),
+#: ``exit:<label-substring>`` (die instantly),
+#: ``sleep:<seconds>:<label-substring>`` (hang silently: heartbeats
+#: stop, the stall detector fires), and
+#: ``die:<seconds>:<label-substring>`` (die mid-point, after the start
+#: heartbeat went out).
 FAULT_ENV = "REPRO_PARALLEL_FAULT"
+
+#: Poll cadence of the monitored pool wait loop: each tick pumps the
+#: relay queue, refreshes the status document, and checks for stalls.
+POLL_S = 0.05
 
 
 # ----------------------------------------------------------------------
@@ -104,6 +135,11 @@ class EngineRun:
     checkpoint_path: str | None = None
     executed: int = 0
     cached: int = 0
+    #: Where the live status document was written (monitored runs only).
+    status_path: str | None = None
+    #: Final metrics snapshot (relay counters, worker gauges) of a
+    #: monitored run — the programmatic twin of ``GET /metrics``.
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
     @property
     def skipped(self) -> list[PointReport]:
@@ -271,25 +307,72 @@ def _inject_fault(label: str) -> None:
     spec = os.environ.get(FAULT_ENV)
     if not spec:
         return
-    mode, _, needle = spec.partition(":")
+    mode, _, rest = spec.partition(":")
+    seconds = 0.0
+    if mode in ("sleep", "die"):
+        seconds_text, _, needle = rest.partition(":")
+        seconds = float(seconds_text)
+    else:
+        needle = rest
     if needle and needle not in label:
         return
     if mode == "raise":
         raise RuntimeError(f"injected fault for point {label!r}")
     if mode == "exit":
         os._exit(17)
+    if mode == "sleep":
+        time.sleep(seconds)
+    if mode == "die":
+        time.sleep(seconds)
+        os._exit(17)
 
 
-def _init_worker(warm: tuple) -> None:
-    """Pool initializer: populate this worker's ``run_sim`` memo caches.
+@dataclass
+class _WorkerObs:
+    """Per-worker observability wiring installed by ``_init_worker``."""
+
+    bus: EventBus
+    relay: WorkerRelay
+    heartbeat: HeartbeatEmitter
+
+
+#: This worker's observability bundle (None outside monitored pools).
+_WORKER_OBS: _WorkerObs | None = None
+
+
+def _init_worker(warm: tuple, obs_spec: tuple | None = None) -> None:
+    """Pool initializer: memo caches plus (optionally) observability.
 
     ``warm`` broadcasts the sweep's (mix, scale, profiled) tuples so
     each worker generates and profiles its programs once up front; the
     parent's caches are useless to a spawned child, and even a forked
     child re-profiles nothing this way.
+
+    ``obs_spec`` carries the relay queue and monitoring knobs.  The
+    queue can only reach a child through the pool initializer's
+    ``initargs`` (multiprocessing queues refuse to ride ``submit()``
+    arguments), which is why all of this lives here: the worker builds
+    an ambient :class:`EventBus`, subscribes a :class:`WorkerRelay` and
+    a :class:`HeartbeatEmitter`, and installs the bus so every
+    ``run_sim`` pipeline the worker executes publishes onto it.
     """
+    global _WORKER_OBS
     for mix_name, scale, profiled in warm:
         get_programs(mix_name, scale, profiled)
+    if obs_spec is None:
+        return
+    queue, topics, batch_size, heartbeat_s, run_id, config_hash, log_path = obs_spec
+    bus = EventBus()
+    relay = WorkerRelay(queue, batch_size=batch_size)
+    relay.attach(bus, tuple(topics))
+    heartbeat = HeartbeatEmitter(relay, interval_s=heartbeat_s)
+    heartbeat.attach(bus)
+    set_ambient_bus(bus)
+    # Deliberate per-process worker state, installed once per pool child.
+    _WORKER_OBS = _WorkerObs(bus, relay, heartbeat)  # lint: disable=fork-safety
+    if log_path:
+        setup_run_logging(run_id, config_hash, path=log_path)
+        get_run_logger("worker").info("worker online", extra={"pid": os.getpid()})
 
 
 def _figure_suite(name: str) -> Callable[[BenchScale], list[dict]]:
@@ -304,35 +387,57 @@ def _figure_suite(name: str) -> Callable[[BenchScale], list[dict]]:
 
 
 def _execute_task(task: Task) -> tuple[Any, float, float, int]:
-    """Run one task; returns ``(value, start_ts, end_ts, worker_pid)``."""
-    _inject_fault(task.label)
-    start = time.time()
-    if task.kind == "sim":
-        mix_name, scale, kw_items = task.payload
-        value: Any = run_sim(mix_name, scale, **dict(kw_items))
-    elif task.kind == "figure":
-        name, scale = task.payload
-        value = _figure_suite(name)(scale)
-    else:
-        raise KeyError(f"unknown task kind {task.kind!r}")
-    return value, start, time.time(), os.getpid()
+    """Run one task; returns ``(value, start_ts, end_ts, worker_pid)``.
+
+    The start heartbeat goes out before anything else (including fault
+    injection) so the parent can attribute a worker death or hang to
+    the point it was holding; the finally block marks the worker idle
+    and flushes the relay whether the task succeeded or raised.
+    """
+    obs = _WORKER_OBS
+    if obs is not None:
+        obs.heartbeat.point_started(task.key)
+    try:
+        _inject_fault(task.label)
+        start = time.time()
+        if task.kind == "sim":
+            mix_name, scale, kw_items = task.payload
+            value: Any = run_sim(mix_name, scale, **dict(kw_items))
+        elif task.kind == "figure":
+            name, scale = task.payload
+            value = _figure_suite(name)(scale)
+        else:
+            raise KeyError(f"unknown task kind {task.kind!r}")
+        return value, start, time.time(), os.getpid()
+    finally:
+        if obs is not None:
+            obs.heartbeat.point_finished()
 
 
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
-def _point_avf(value: Any) -> float | None:
-    """The IQ AVF carried by a point's reduced metric dict, if any.
+#: ``harness.point`` payload fields → keys of a point's reduced metric
+#: dict.  Sweep/replicate points reduce to ``{metric: float}`` dicts;
+#: when one carries an IQ or ROB AVF the progress stream surfaces it so
+#: a live sweep shows vulnerability alongside throughput.  A new metric
+#: rides along by adding a (field, metric-key) pair here *and* the
+#: field to ``TOPIC_HARNESS_POINT`` in ``repro.telemetry.topics``.
+POINT_METRIC_FIELDS: dict[str, str] = {
+    "avf": "iq_avf",
+    "rob_avf": "rob_avf",
+}
 
-    Sweep/replicate points reduce to ``{metric: float}`` dicts; when one
-    of those metrics is ``iq_avf`` the progress stream surfaces it so a
-    live sweep shows vulnerability alongside throughput.
-    """
+
+def _point_metrics(value: Any) -> dict[str, float | None]:
+    """Extract the surfaced metric fields from a reduced point value."""
+    out: dict[str, float | None] = dict.fromkeys(POINT_METRIC_FIELDS)
     if isinstance(value, Mapping):
-        avf = value.get("iq_avf")
-        if isinstance(avf, (int, float)) and avf == avf:  # NaN-safe
-            return float(avf)
-    return None
+        for field_name, metric in POINT_METRIC_FIELDS.items():
+            v = value.get(metric)
+            if isinstance(v, (int, float)) and v == v:  # NaN-safe
+                out[field_name] = float(v)
+    return out
 
 
 class _PointEmitter:
@@ -342,6 +447,8 @@ class _PointEmitter:
         self.bus = bus
         self.t0 = t0
         self._workers: dict[int, int] = {}  # pid -> compact slot
+        #: Status tallies (kept even without a bus; status docs read them).
+        self.counts: dict[str, int] = {}
 
     def worker_slot(self, pid: int) -> int:
         return self._workers.setdefault(pid, len(self._workers))
@@ -355,10 +462,12 @@ class _PointEmitter:
         worker: int = -1,
         start_ms: float | None = None,
         elapsed_ms: float = 0.0,
-        avf: float | None = None,
+        metrics: Mapping[str, float | None] | None = None,
     ) -> None:
+        self.counts[status] = self.counts.get(status, 0) + 1
         if self.bus is None:
             return
+        point = metrics if metrics is not None else _point_metrics(None)
         now_ms = (time.time() - self.t0) * 1000.0
         if start_ms is None:
             start_ms = now_ms
@@ -372,8 +481,69 @@ class _PointEmitter:
             elapsed_ms=float(elapsed_ms),
             attempt=attempt,
             worker=worker,
-            avf=avf,
+            avf=point.get("avf"),
+            rob_avf=point.get("rob_avf"),
         )
+
+
+class _Stalled(Exception):
+    """A worker went heartbeat-silent (or died) while holding a point."""
+
+    def __init__(self, message: str, worker: int = -1):
+        super().__init__(message)
+        self.worker = worker
+
+
+@dataclass
+class _Fleet:
+    """Parent-side observability bundle for one monitored pool run."""
+
+    cfg: MonitorConfig
+    t0: float
+    queue: Any
+    drain: RelayDrain
+    health: HealthMonitor
+    obs_spec: tuple
+    write_status: Callable[[], None]
+
+
+def _make_fleet(
+    cfg: MonitorConfig,
+    *,
+    metrics: MetricsRegistry,
+    health: HealthMonitor,
+    bus: EventBus | None,
+    emitter: "_PointEmitter",
+    t0: float,
+    run_id: str,
+    signature: str,
+    write_status_cb: Callable[[], None],
+) -> _Fleet:
+    """Build the relay queue + drain for one pool run.
+
+    The queue comes from the default multiprocessing context (the same
+    one ``ProcessPoolExecutor`` uses) and reaches workers through the
+    pool initializer's initargs.
+    """
+    queue = multiprocessing.get_context().Queue(cfg.queue_size)
+    drain = RelayDrain(
+        queue,
+        bus if bus is not None else EventBus(),
+        worker_slot=emitter.worker_slot,
+        t0=t0,
+        metrics=metrics,
+        on_health=health.on_health,
+    )
+    obs_spec = (
+        queue,
+        tuple(cfg.relay_topics),
+        cfg.batch_size,
+        cfg.heartbeat_s,
+        run_id,
+        signature,
+        cfg.log_path,
+    )
+    return _Fleet(cfg, t0, queue, drain, health, obs_spec, write_status_cb)
 
 
 def execute_tasks(
@@ -391,6 +561,7 @@ def execute_tasks(
     strict: bool = False,
     bus: EventBus | None = None,
     warm: Sequence[tuple[str, BenchScale, bool]] = (),
+    monitor: "MonitorConfig | bool | None" = None,
 ) -> EngineRun:
     """Execute ``tasks`` (deduplicated by caller), merging deterministically.
 
@@ -403,6 +574,12 @@ def execute_tasks(
 
     ``checkpoint`` may be a path, ``True`` (auto path under
     ``reports/``), or ``None``/``False`` to disable checkpointing.
+
+    ``monitor`` controls fleet observability, which applies only to
+    pool runs (``jobs >= 2``): ``None``/``True`` turn it on with
+    defaults, ``False`` turns it off, and a :class:`MonitorConfig`
+    customizes it (relay topics, heartbeat cadence, stall threshold,
+    ``--serve`` endpoint, status/log paths).
     """
     if jobs < 0:
         raise ValueError("jobs must be non-negative")
@@ -417,7 +594,15 @@ def execute_tasks(
     t0 = time.time()
     emitter = _PointEmitter(bus, t0)
     signature = signature_of(signature_doc or {"keys": keys})
+    run_id = signature[:12]
     run = EngineRun()
+
+    cfg: MonitorConfig | None = None
+    if jobs >= 2 and monitor is not False:
+        cfg = monitor if isinstance(monitor, MonitorConfig) else MonitorConfig()
+    if cfg is not None and cfg.log_path:
+        setup_run_logging(run_id, signature, path=cfg.log_path)
+    log = get_run_logger("engine")
 
     shard: CheckpointShard | None = None
     completed: dict[str, dict] = {}
@@ -433,7 +618,83 @@ def execute_tasks(
             completed = shard.resume()
         shard.open(append=bool(completed))
 
+    metrics_registry = MetricsRegistry()
+    health = HealthMonitor(
+        metrics=metrics_registry,
+        bus=bus,
+        stall_after_s=cfg.stall_after_s if cfg is not None else 5.0,
+    )
+    label_by_key = {task.key: task.label for task in tasks}
+    status_path: str | None = None
+    if cfg is not None:
+        status_path = cfg.status_path or (
+            status_path_for(run.checkpoint_path) if run.checkpoint_path else None
+        )
+    run.status_path = status_path
+    last_status_write = [0.0]
+
+    def _status_doc(state: str = "running") -> dict[str, Any]:
+        now = time.time()
+        workers = health.to_doc((now - t0) * 1000.0)
+        for row in workers:
+            if row.get("point"):
+                row["point"] = label_by_key.get(row["point"], row["point"])
+        return {
+            "schema": 1,
+            "state": state,
+            "kind": kind,
+            "run_id": run_id,
+            "config_hash": signature,
+            "jobs": jobs,
+            "started": t0,
+            "updated": now,
+            "points": {"total": len(tasks), **emitter.counts},
+            "workers": workers,
+            "metrics": metrics_registry.snapshot(),
+            "checkpoint": run.checkpoint_path,
+        }
+
+    def _write_status_now(force: bool = False, state: str = "running") -> None:
+        if status_path is None or cfg is None:
+            return
+        now = time.time()
+        if not force and now - last_status_write[0] < cfg.status_write_s:
+            return
+        last_status_write[0] = now
+        write_status(status_path, _status_doc(state))
+
+    fleet: _Fleet | None = None
+    server: MetricsServer | None = None
     try:
+        if cfg is not None:
+            fleet = _make_fleet(
+                cfg,
+                metrics=metrics_registry,
+                health=health,
+                bus=bus,
+                emitter=emitter,
+                t0=t0,
+                run_id=run_id,
+                signature=signature,
+                write_status_cb=_write_status_now,
+            )
+            if bus is not None:
+                health.attach(bus)
+            if cfg.serve is not None:
+                host, port = cfg.serve
+                server = MetricsServer(
+                    metrics_registry, _status_doc, host=host, port=port
+                ).start()
+                log.info(
+                    "serving /metrics and /status",
+                    extra={"host": server.host, "port": server.port},
+                )
+            log.info(
+                "run starting",
+                extra={"kind": kind, "jobs": jobs, "points": len(tasks)},
+            )
+            _write_status_now(force=True)
+
         todo: list[Task] = []
         for task in tasks:
             rec = completed.get(task.key)
@@ -443,7 +704,10 @@ def execute_tasks(
                 run.reports.append(
                     PointReport(task.index, task.key, task.label, "cached")
                 )
-                emitter.emit(task, "cached", attempt=0, avf=_point_avf(rec.get("value")))
+                emitter.emit(
+                    task, "cached", attempt=0,
+                    metrics=_point_metrics(rec.get("value")),
+                )
             else:
                 todo.append(task)
 
@@ -475,8 +739,10 @@ def execute_tasks(
                 )
             emitter.emit(
                 task, "done", attempt=attempt, worker=worker,
-                start_ms=start_ms, elapsed_ms=elapsed_ms, avf=_point_avf(value),
+                start_ms=start_ms, elapsed_ms=elapsed_ms,
+                metrics=_point_metrics(value),
             )
+            _write_status_now(force=True)
 
         def _skip(task: Task, attempt: int, error: str) -> None:
             run.reports.append(
@@ -496,7 +762,11 @@ def execute_tasks(
                         "attempt": attempt,
                     }
                 )
+            log.warning(
+                "point skipped", extra={"label": task.label, "error": error}
+            )
             emitter.emit(task, "skipped", attempt=attempt)
+            _write_status_now(force=True)
 
         if todo:
             if jobs <= 1:
@@ -505,11 +775,26 @@ def execute_tasks(
                 _run_pool(
                     todo, _complete, _skip, emitter,
                     jobs=jobs, timeout=timeout, retries=retries,
-                    backoff=backoff, warm=tuple(warm),
+                    backoff=backoff, warm=tuple(warm), fleet=fleet,
                 )
     finally:
+        if fleet is not None:
+            fleet.drain.pump()
         if shard is not None:
             shard.close()
+        if server is not None:
+            server.close()
+        if cfg is not None:
+            run.telemetry = metrics_registry.snapshot()
+            _write_status_now(force=True, state="finished")
+            log.info(
+                "run finished",
+                extra={
+                    "executed": run.executed,
+                    "cached": run.cached,
+                    "relay_dropped": int(fleet.drain.dropped) if fleet else 0,
+                },
+            )
 
     run.reports.sort(key=lambda r: r.index)
     if strict and run.skipped:
@@ -543,19 +828,58 @@ def _run_inline(todo, complete, skip, emitter: _PointEmitter, retries, backoff) 
             break
 
 
+def _await_result(fut, task: Task, timeout, fleet: _Fleet | None):
+    """Wait for one future, servicing the fleet while it runs.
+
+    Without a fleet this is exactly ``fut.result(timeout=timeout)``.
+    With one, the wait becomes a poll loop: each :data:`POLL_S` tick
+    pumps the relay queue (re-publishing worker events and folding
+    heartbeats), refreshes the throttled status document, and asks the
+    health monitor whether the worker holding *this* point has gone
+    heartbeat-silent — raising :class:`_Stalled` if so, which the
+    caller treats as a retryable failure distinct from a timeout.
+    Stall detection needs a start beat, so it covers started points;
+    a point queued behind a hung sibling is bounded by ``timeout``.
+    """
+    if fleet is None:
+        return fut.result(timeout=timeout)
+    deadline = time.time() + timeout if timeout is not None else None
+    while True:
+        try:
+            return fut.result(timeout=POLL_S)
+        except _FutureTimeout:
+            fleet.drain.pump()
+            fleet.write_status()
+            now = time.time()
+            stall = fleet.health.stalled_worker(task.key, (now - fleet.t0) * 1000.0)
+            if stall is not None:
+                record, age_s = stall
+                raise _Stalled(
+                    f"stalled: no heartbeat for {age_s:.1f}s "
+                    f"(worker w{record.worker}, pid {record.pid})",
+                    worker=record.worker,
+                ) from None
+            if deadline is not None and now >= deadline:
+                raise
+
+
 def _run_pool(
     todo, complete, skip, emitter: _PointEmitter,
-    *, jobs, timeout, retries, backoff, warm,
+    *, jobs, timeout, retries, backoff, warm, fleet: _Fleet | None = None,
 ) -> None:
     pending: list[tuple[Task, int]] = [(task, 1) for task in todo]
     round_index = 0
     while pending:
         failures: list[tuple[Task, int, str]] = []
         dirty = False  # a timed-out or crashed worker may still be running
+        if fleet is not None:
+            # Forget last round's point attribution: a stale "running"
+            # record from a dead pool must not stall a retried point.
+            fleet.health.begin_round()
         pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(pending)),
             initializer=_init_worker,
-            initargs=(warm,),
+            initargs=(warm, fleet.obs_spec) if fleet is not None else (warm,),
         )
         try:
             futures = [
@@ -564,20 +888,38 @@ def _run_pool(
             ]
             for task, attempt, fut in futures:
                 try:
-                    raw, start_ts, end_ts, pid = fut.result(timeout=timeout)
+                    raw, start_ts, end_ts, pid = _await_result(
+                        fut, task, timeout, fleet
+                    )
                 except _FutureTimeout:
                     fut.cancel()
                     dirty = True
                     failures.append(
                         (task, attempt, f"timed out after {timeout:.1f}s")
                     )
+                except _Stalled as exc:
+                    fut.cancel()
+                    dirty = True
+                    emitter.emit(task, "stalled", attempt=attempt, worker=exc.worker)
+                    failures.append((task, attempt, str(exc)))
                 except BrokenProcessPool:
                     # The worker died (or a sibling's death broke the
                     # pool).  The attempt is charged to every affected
                     # point; innocents complete on the next round while
                     # a genuinely poisoned point exhausts its retries.
                     dirty = True
-                    failures.append((task, attempt, "worker process died"))
+                    if fleet is not None:
+                        fleet.drain.pump()  # the victim's last heartbeats
+                    if fleet is not None and fleet.health.started(task.key):
+                        # A worker sent the start beat for this point and
+                        # then the pool broke: the death is attributable,
+                        # i.e. a stall, not an anonymous casualty.
+                        emitter.emit(task, "stalled", attempt=attempt)
+                        failures.append(
+                            (task, attempt, "stalled: worker process died mid-point")
+                        )
+                    else:
+                        failures.append((task, attempt, "worker process died"))
                 except Exception as exc:  # noqa: BLE001 - worker raised
                     failures.append(
                         (task, attempt, f"{exc.__class__.__name__}: {exc}")
@@ -586,6 +928,8 @@ def _run_pool(
                     complete(task, attempt, raw, start_ts, end_ts, pid)
         finally:
             pool.shutdown(wait=not dirty, cancel_futures=True)
+        if fleet is not None:
+            fleet.drain.pump()
         pending = []
         for task, attempt, error in failures:
             if attempt <= retries:
@@ -610,6 +954,10 @@ class SweepRun:
     checkpoint_path: str | None
     executed: int
     cached: int
+    #: Where the live status document was written (monitored runs only).
+    status_path: str | None = None
+    #: Final metrics snapshot of a monitored run (see EngineRun.telemetry).
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
     @property
     def skipped(self) -> list[PointReport]:
@@ -638,6 +986,7 @@ def parallel_sweep(
     backoff: float = 0.25,
     strict: bool = False,
     bus: EventBus | None = None,
+    monitor: MonitorConfig | bool | None = None,
     **fixed,
 ) -> SweepRun:
     """:func:`repro.harness.sweep.sweep` semantics over a process pool.
@@ -696,6 +1045,7 @@ def parallel_sweep(
         strict=strict,
         bus=bus,
         warm=tuple((mix_name, scale, p) for p in profiled_variants),
+        monitor=monitor,
     )
 
     baseline_raw = None
@@ -727,6 +1077,8 @@ def parallel_sweep(
         checkpoint_path=run.checkpoint_path,
         executed=run.executed,
         cached=run.cached,
+        status_path=run.status_path,
+        telemetry=run.telemetry,
     )
 
 
@@ -744,6 +1096,7 @@ def parallel_replicate(
     backoff: float = 0.25,
     strict: bool = True,
     bus: EventBus | None = None,
+    monitor: MonitorConfig | bool | None = None,
     **run_kwargs,
 ) -> dict[str, "replication_mod.Replicated"]:
     """:func:`repro.harness.replication.replicate` over a process pool.
@@ -790,6 +1143,7 @@ def parallel_replicate(
             (mix_name, seeded, bool(run_kwargs.get("profiled", True)))
             for seeded in seeded_scales
         ),
+        monitor=monitor,
     )
     samples: dict[str, list[float]] = {name: [] for name in metrics}
     for key in keys:
@@ -831,6 +1185,7 @@ def parallel_figures(
     backoff: float = 0.25,
     strict: bool = False,
     bus: EventBus | None = None,
+    monitor: MonitorConfig | bool | None = None,
 ) -> FiguresRun:
     """Run whole figure/table suites as pool tasks (one task per figure).
 
@@ -872,6 +1227,7 @@ def parallel_figures(
         strict=strict,
         bus=bus,
         warm=(),
+        monitor=monitor,
     )
     results = {
         name: run.values[key]
@@ -893,6 +1249,8 @@ __all__ = [
     "CheckpointShard",
     "EngineRun",
     "FiguresRun",
+    "MonitorConfig",
+    "POINT_METRIC_FIELDS",
     "PointReport",
     "SweepRun",
     "Task",

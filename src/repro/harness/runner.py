@@ -116,6 +116,29 @@ _PROGRAMS: dict = {}
 _RESULTS: dict = {}
 _SINGLE_IPC: dict = {}
 
+#: Ambient event bus for ``run_sim`` pipelines.  Pool workers install
+#: one (wired to the telemetry relay) via ``_init_worker`` so every
+#: simulation a task runs publishes interval/reliability events the
+#: relay can forward; when None (the default, and always in the
+#: parent), each pipeline keeps its own private bus as before.  The
+#: bus never affects results — subscribers only observe — so it is
+#: deliberately *not* part of the memo key; cached points simply emit
+#: nothing, which is fine because they cost no wall time to watch.
+_AMBIENT_BUS = None
+
+
+def set_ambient_bus(bus) -> None:
+    """Install (or clear, with None) the process-wide ambient bus."""
+    global _AMBIENT_BUS
+    # Deliberate per-process global: each pool worker installs its own
+    # bus in its own interpreter; the parent never shares it.
+    _AMBIENT_BUS = bus  # lint: disable=fork-safety
+
+
+def ambient_bus():
+    """The process-wide ambient bus, or None outside pool workers."""
+    return _AMBIENT_BUS
+
 
 def clear_caches() -> None:
     """Drop all memoized programs and results (tests use this)."""
@@ -237,6 +260,7 @@ def run_sim(
         scheduler=scheduler,
         dispatch_policy=_make_dispatch(dispatch, scale, machine),
         dvm=dvm,
+        bus=_AMBIENT_BUS,
     )
     result = pipe.run()
     if key is not None:

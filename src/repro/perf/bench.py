@@ -231,6 +231,54 @@ def _make_parallel_sweep(scale: BenchScale) -> Callable[[], None]:
     return run
 
 
+def _make_relay_roundtrip(scale: BenchScale) -> Callable[[], None]:
+    """Telemetry relay worker→parent round-trip, no process pool.
+
+    One in-process worker bus with a ``WorkerRelay`` attached feeds a
+    bounded queue drained by a ``RelayDrain`` republishing onto a
+    parent bus — the full serialize/batch/drain/republish path a
+    monitored ``--jobs N`` sweep pays per relayed event, minus the
+    process hop.  Pins the overhead of default batch sizes so relay
+    regressions show up as a step in the trajectory.
+    """
+    import queue as queue_mod
+
+    from repro.telemetry.bus import EventBus
+    from repro.telemetry.relay import RelayDrain, WorkerRelay
+    from repro.telemetry.topics import TOPIC_INTERVAL_CLOSE
+
+    events = 20_000
+
+    def run() -> None:
+        q: queue_mod.Queue = queue_mod.Queue(maxsize=512)
+        worker_bus = EventBus()
+        relay = WorkerRelay(q)
+        relay.attach(worker_bus)
+        parent_bus = EventBus()
+        drain = RelayDrain(q, parent_bus, worker_slot=lambda pid: 0, t0=0.0)
+        for i in range(events):
+            worker_bus.emit(
+                TOPIC_INTERVAL_CLOSE,
+                index=i,
+                end_cycle=(i + 1) * scale.interval_cycles,
+                committed=(i * 379) % 4096,
+                ipc=2.0,
+                avg_ready_queue_len=4.0,
+                avg_waiting_queue_len=8.0,
+                l2_misses=(i * 29) % 160,
+                online_avf_estimate=0.05 + (i % 100) / 200.0,
+                online_rob_estimate=0.04 + (i % 100) / 250.0,
+                iq_limit=64,
+            )
+            if i % 256 == 0:
+                drain.pump()
+        relay.flush()
+        drain.pump()
+        assert drain.dropped == 0
+
+    return run
+
+
 BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase(
         "pipeline_cycle_loop",
@@ -266,6 +314,11 @@ BENCH_CASES: tuple[BenchCase, ...] = (
         "parallel_sweep",
         "harness engine orchestration + checkpoint IO (warm 2x2 grid)",
         _make_parallel_sweep,
+    ),
+    BenchCase(
+        "relay_roundtrip",
+        "telemetry relay batch/drain/republish round-trip (20k events)",
+        _make_relay_roundtrip,
     ),
 )
 

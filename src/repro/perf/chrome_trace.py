@@ -128,7 +128,25 @@ def recorded_events(
         if not isinstance(args, dict):  # pragma: no cover - dict in, dict out
             args = {"payload": args}
         args["stage"] = ev.stage
-        if ev.topic == "interval.close":
+        if "_worker" in ev.payload:
+            # Relayed from a pool worker (see TimelineRecorder): the
+            # event belongs on that worker's *wall-time* track, next to
+            # its point slices, at its parent-arrival ms — mixing each
+            # worker's private cycle domain onto the shared cycle
+            # tracks would interleave unrelated runs.
+            out.append(
+                {
+                    "name": ev.topic,
+                    "cat": "relay",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": float(ev.payload.get("_ms", 0.0)) * 1000.0,
+                    "pid": pid,
+                    "tid": TID_WORKER_BASE + int(ev.payload["_worker"]),
+                    "args": args,
+                }
+            )
+        elif ev.topic == "interval.close":
             # Intervals close at (index+1)*L cycles; recover L from the
             # payload so each interval renders as a slice, not a point.
             index = int(ev.payload.get("index", 0))
@@ -232,6 +250,11 @@ def counter_events(
     out: list[dict[str, Any]] = []
     for ev in events:
         p = ev.payload
+        if "_worker" in p:
+            # Relayed events live in their worker's private cycle
+            # domain; folding them into the shared counter tracks would
+            # interleave unrelated runs' x-axes.
+            continue
         if ev.topic == "interval.close":
             end = float(p.get("end_cycle", ev.cycle))
             out.append(

@@ -13,17 +13,32 @@ Layers (see ``docs/observability.md``):
 * :mod:`repro.telemetry.timeline` — decision/interval recording and
   the ``repro timeline`` rendering;
 * :mod:`repro.telemetry.overhead` — the CI smoke check asserting the
-  zero-subscriber path stays within budget.
+  zero-subscriber path stays within budget;
+* :mod:`repro.telemetry.relay` — the worker→parent cross-process
+  event forwarder (bounded queue, batch+drop backpressure);
+* :mod:`repro.telemetry.export` — Prometheus text exposition, JSON
+  status documents and the ``--serve`` HTTP thread;
+* :mod:`repro.telemetry.runlog` — run-scoped JSONL logging with
+  run-id/config-hash correlation.
 """
 
-from repro.telemetry.bus import Event, EventBus, Subscription
+from repro.telemetry.bus import Event, EventBus, EventOrigin, Subscription
+from repro.telemetry.export import (
+    MetricsServer,
+    prometheus_text,
+    read_status,
+    status_path_for,
+    write_status,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     ScopedRegistry,
+    StreamingHistogram,
 )
+from repro.telemetry.relay import RelayDrain, WorkerRelay
 from repro.telemetry.profiler import StageProfile, StageProfiler
 from repro.telemetry.provenance import RunManifest, collect_manifest, config_digest
 from repro.telemetry.timeline import (
@@ -38,12 +53,21 @@ from repro.telemetry.topics import DECISION_TOPICS, STAGE_ORDER, TOPICS, Topic, 
 __all__ = [
     "Event",
     "EventBus",
+    "EventOrigin",
     "Subscription",
     "Counter",
     "Gauge",
     "Histogram",
+    "StreamingHistogram",
     "MetricsRegistry",
     "ScopedRegistry",
+    "MetricsServer",
+    "prometheus_text",
+    "read_status",
+    "status_path_for",
+    "write_status",
+    "RelayDrain",
+    "WorkerRelay",
     "StageProfile",
     "StageProfiler",
     "RunManifest",

@@ -34,13 +34,34 @@ Predicate = Callable[["Event"], bool]
 
 
 @dataclass(frozen=True)
+class EventOrigin:
+    """Worker attribution stamped onto relayed (re-published) events.
+
+    ``worker`` is the parent-assigned compact slot index, ``pid`` the
+    worker's OS process id, and ``ms`` the wall-clock arrival time at
+    the parent in milliseconds since sweep start (the worker-side
+    ``cycle``/``stage`` stamps stay on the event itself).
+    """
+
+    worker: int
+    pid: int
+    ms: float
+
+
+@dataclass(frozen=True)
 class Event:
-    """One delivered event: topic name, stamps, and the typed payload."""
+    """One delivered event: topic name, stamps, and the typed payload.
+
+    ``origin`` is None for events emitted in-process; events relayed
+    from pool workers and re-published by the parent carry the worker
+    attribution (see :meth:`EventBus.republish`).
+    """
 
     topic: str
     cycle: int
     stage: str
     payload: dict[str, Any]
+    origin: EventOrigin | None = None
 
     def __getitem__(self, key: str) -> Any:
         return self.payload[key]
@@ -163,6 +184,42 @@ class EventBus:
                 f" (missing={missing}, unexpected={extra})"
             )
         event = Event(topic.name, self.cycle, self.stage, fields)
+        if subs:
+            for sub in list(subs):
+                sub.deliver(event)
+        for sub in list(self._all):
+            sub.deliver(event)
+
+    def republish(
+        self,
+        topic: Topic,
+        payload: dict[str, Any],
+        *,
+        cycle: int,
+        stage: str,
+        origin: EventOrigin | None = None,
+    ) -> None:
+        """Re-deliver an event that was first emitted on another bus.
+
+        The relay drain uses this to mirror worker-side events onto the
+        parent bus: the payload dict arrives pre-built (already
+        schema-checked by the worker-side ``emit``), ``cycle``/``stage``
+        carry the *worker's* stamps rather than this bus's, and
+        ``origin`` attributes the event to a worker slot/pid.  The
+        schema is re-checked on delivery so a worker running different
+        code cannot smuggle a malformed payload past subscribers.
+        """
+        subs = self._subs.get(topic.name)
+        if not subs and not self._all:
+            return
+        if payload.keys() != topic.fields:
+            missing = sorted(topic.fields - payload.keys())
+            extra = sorted(payload.keys() - topic.fields)
+            raise ValueError(
+                f"republish({topic.name!r}): payload does not match schema"
+                f" (missing={missing}, unexpected={extra})"
+            )
+        event = Event(topic.name, cycle, stage, payload, origin)
         if subs:
             for sub in list(subs):
                 sub.deliver(event)

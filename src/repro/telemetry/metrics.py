@@ -27,8 +27,9 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self) -> None:
+    def __init__(self, help: str = "") -> None:
         self.value: float = 0
+        self.help = help
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
@@ -44,8 +45,9 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self) -> None:
+    def __init__(self, help: str = "") -> None:
         self.value: float = 0.0
+        self.help = help
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -68,7 +70,9 @@ class Histogram:
         0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
     )
 
-    def __init__(self, buckets: tuple[float, ...] | None = None) -> None:
+    def __init__(
+        self, buckets: tuple[float, ...] | None = None, help: str = ""
+    ) -> None:
         bounds = tuple(buckets) if buckets is not None else self.DEFAULT_BUCKETS
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError("histogram buckets must be a sorted non-empty tuple")
@@ -78,6 +82,7 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self.help = help
 
     def observe(self, value: float) -> None:
         v = float(value)
@@ -90,6 +95,25 @@ class Histogram:
                 self.counts[i] += 1
                 return
         self.counts[-1] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bucket-wise sum).
+
+        Both histograms must have identical bounds; shard histograms
+        built by workers therefore aggregate exactly — merging N shards
+        is indistinguishable from observing the concatenated stream.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
 
     @property
     def mean(self) -> float:
@@ -144,6 +168,26 @@ class StreamingHistogram:
         self.total += v
         bucket = v.bit_length()
         self.counts[bucket] = self.counts.get(bucket, 0) + 1
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other`` into this histogram (bucket-wise sum).
+
+        Power-of-two buckets are position-independent, so any two
+        streaming histograms merge exactly regardless of the value
+        ranges each shard saw.
+        """
+        if not other.count:
+            return
+        if not self.count:
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+        else:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+        self.count += other.count
+        self.total += other.total
+        for bucket, n in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + n
 
     @property
     def mean(self) -> float:
@@ -204,20 +248,27 @@ class MetricsRegistry:
                 f"metric {name!r} already registered as {existing.kind}, "
                 f"not {metric.kind}"
             )
+        if metric.help and not existing.help:
+            existing.help = metric.help
         return existing
 
-    def counter(self, name: str) -> Counter:
-        metric = self._get_or_create(name, Counter())
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(name, Counter(help))
         assert isinstance(metric, Counter)
         return metric
 
-    def gauge(self, name: str) -> Gauge:
-        metric = self._get_or_create(name, Gauge())
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(name, Gauge(help))
         assert isinstance(metric, Gauge)
         return metric
 
-    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
-        metric = self._get_or_create(name, Histogram(buckets))
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        help: str = "",
+    ) -> Histogram:
+        metric = self._get_or_create(name, Histogram(buckets, help))
         assert isinstance(metric, Histogram)
         return metric
 
@@ -285,14 +336,19 @@ class ScopedRegistry:
     def _name(self, name: str) -> str:
         return f"{self.prefix}.{name}"
 
-    def counter(self, name: str) -> Counter:
-        return self._parent.counter(self._name(name))
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._parent.counter(self._name(name), help)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._parent.gauge(self._name(name))
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._parent.gauge(self._name(name), help)
 
-    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
-        return self._parent.histogram(self._name(name), buckets)
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        help: str = "",
+    ) -> Histogram:
+        return self._parent.histogram(self._name(name), buckets, help)
 
     def child(self, prefix: str) -> "ScopedRegistry":
         return ScopedRegistry(self._parent, self._name(prefix))

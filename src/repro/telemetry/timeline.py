@@ -72,8 +72,17 @@ class TimelineRecorder:
         if len(self.events) >= self.limit:
             self.dropped += 1
             return
+        payload = dict(event.payload)
+        if event.origin is not None:
+            # Relayed from a pool worker: keep the attribution (worker
+            # slot, pid, arrival ms) under underscore keys so renderers
+            # and the Chrome-trace exporter can place the event on the
+            # right worker track without a schema change per topic.
+            payload["_worker"] = event.origin.worker
+            payload["_pid"] = event.origin.pid
+            payload["_ms"] = event.origin.ms
         self.events.append(
-            RecordedEvent(event.cycle, event.stage, event.topic, dict(event.payload))
+            RecordedEvent(event.cycle, event.stage, event.topic, payload)
         )
 
     def attach(self) -> "TimelineRecorder":
@@ -138,9 +147,11 @@ def read_jsonl(path: str) -> tuple[RunManifest | None, list[RecordedEvent]]:
 # Rendering
 # ----------------------------------------------------------------------
 def _fmt_payload(topic: str, p: Mapping[str, Any]) -> str:
+    # Relayed events carry worker attribution under underscore keys.
+    who = f"w{p['_worker']} " if "_worker" in p else ""
     if topic == "interval.close":
         return (
-            f"ipc={p['ipc']:.2f}  rql={p['avg_ready_queue_len']:.1f}  "
+            f"{who}ipc={p['ipc']:.2f}  rql={p['avg_ready_queue_len']:.1f}  "
             f"wql={p['avg_waiting_queue_len']:.1f}  l2={p['l2_misses']}  "
             f"online_avf={p['online_avf_estimate']:.3f}  iql={p['iq_limit']}"
         )
@@ -162,9 +173,14 @@ def _fmt_payload(topic: str, p: Mapping[str, Any]) -> str:
         return f"flush t{p['thread']} after tag {p['after_tag']}"
     if topic == "harness.point":
         worker = f"w{p['worker']}" if p["worker"] >= 0 else "-"
-        # p.get: recordings from before the avf field lack it.
+        # p.get: recordings from before the avf/rob_avf fields lack them.
+        vuln = ""
         avf = p.get("avf")
-        vuln = f", avf={avf:.3f}" if avf is not None else ""
+        if avf is not None:
+            vuln += f", avf={avf:.3f}"
+        rob_avf = p.get("rob_avf")
+        if rob_avf is not None:
+            vuln += f", rob={rob_avf:.3f}"
         return (
             f"point[{p['index']}] {p['label']} -> {p['status']} "
             f"(attempt={p['attempt']}, worker={worker}, {p['elapsed_ms']:.0f}ms{vuln})"

@@ -158,10 +158,30 @@ TOPIC_HARNESS_POINT = _topic(
         "attempt",
         "worker",
         "avf",
+        "rob_avf",
     ),
     "one sweep point changed state in the parallel execution engine "
-    "(status: done/cached/retry/skipped; times are ms since sweep start; "
-    "avf is the point's IQ AVF when its metrics carry one, else None)",
+    "(status: done/cached/retry/stalled/skipped; times are ms since sweep "
+    "start; avf/rob_avf are the point's IQ/ROB AVF when its metrics carry "
+    "them, else None)",
+)
+
+TOPIC_WORKER_HEALTH = _topic(
+    "harness.health",
+    (
+        "worker",
+        "pid",
+        "kind",
+        "point",
+        "cycles",
+        "cycles_per_sec",
+        "rss_kb",
+        "point_wall_s",
+    ),
+    "one relayed worker heartbeat reached the parent (kind: "
+    "start/beat/end; cycles/cycles_per_sec cover the current point, "
+    "rss_kb is the worker's resident set from /proc/self/statm, "
+    "point_wall_s is wall time spent in the current point so far)",
 )
 
 # ----------------------------------------------------------------------

@@ -399,3 +399,40 @@ class TestCLI:
         assert main(["figures", "table1", "--cycles", "2000", "--quiet"]) == 0
         assert "Table 1" in capsys.readouterr().out
         assert main(["figures", "nope"]) == 2
+
+    def test_serve_and_log_flags_build_monitor_config(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--axis", "scheduler=oldest", "--jobs", "2",
+             "--serve", ":9099", "--log", "run.log"]
+        )
+        assert args.serve == ":9099" and args.log == "run.log"
+        args = build_parser().parse_args(["monitor", "ck.jsonl", "--once"])
+        assert args.checkpoint == "ck.jsonl" and args.once
+        assert args.interval == 2.0
+
+    def test_monitor_command_attaches_to_dead_run(self, tmp_path, capsys,
+                                                  monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_CYCLES", raising=False)
+        ck = str(tmp_path / "mon.jsonl")
+        argv = [
+            "sweep", "--mix", "CPU-A",
+            "--axis", "scheduler=oldest,visa",
+            "--cycles", "2000", "--jobs", "2", "--checkpoint", ck, "--quiet",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["monitor", ck, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out and "2/2 points" in out
+        assert "dropped=0" in out
+
+    def test_monitor_command_missing_status(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["monitor", str(tmp_path / "nope.jsonl"), "--once"]) == 1
+        err = capsys.readouterr().err
+        assert "no status document" in err

@@ -511,6 +511,7 @@ class TestBenchSuite:
             "lint_warm",
             "contract_extract",
             "parallel_sweep",
+            "relay_roundtrip",
         }
         assert all(c.description for c in BENCH_CASES)
 

@@ -236,6 +236,95 @@ class TestMetrics:
         h.observe(0)
         assert h.quantile(0.5) == 0.0
 
+    def test_help_metadata_registration_and_upgrade(self):
+        reg = MetricsRegistry()
+        c = reg.counter("relay.dropped", help="Events dropped.")
+        assert c.help == "Events dropped."
+        # Re-registration keeps the existing metric and its help.
+        assert reg.counter("relay.dropped") is c
+        assert c.help == "Events dropped."
+        # A later registration may supply help the first one lacked.
+        g = reg.gauge("fleet.workers")
+        assert g.help == ""
+        reg.gauge("fleet.workers", help="Distinct workers.")
+        assert g.help == "Distinct workers."
+        assert reg.histogram("lat", help="Latency.").help == "Latency."
+
+    def test_histogram_merge_requires_identical_buckets(self):
+        from repro.telemetry.metrics import Histogram
+
+        a = Histogram(buckets=(0.5, 1.0))
+        b = Histogram(buckets=(0.25, 1.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+    def test_histogram_merge_equals_single_stream(self):
+        from repro.telemetry.metrics import Histogram
+
+        shard_a, shard_b, whole = (Histogram(buckets=(0.5, 1.0)) for _ in range(3))
+        for v in (0.2, 0.8):
+            shard_a.observe(v)
+            whole.observe(v)
+        for v in (0.4, 2.0):
+            shard_b.observe(v)
+            whole.observe(v)
+        shard_a.merge(shard_b)
+        assert shard_a.get() == whole.get()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shards=st.lists(
+            st.lists(st.integers(min_value=0, max_value=1 << 24), max_size=30),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_streaming_merge_of_shards_equals_single_stream(self, shards):
+        # Workers each observe a shard of the stream; merging their
+        # histograms must be indistinguishable from one observer that
+        # saw the concatenated stream.
+        from repro.telemetry.metrics import StreamingHistogram
+
+        merged = StreamingHistogram()
+        whole = StreamingHistogram()
+        for shard in shards:
+            part = StreamingHistogram()
+            for v in shard:
+                part.observe(v)
+                whole.observe(v)
+            merged.merge(part)
+        if whole.count:
+            assert merged.get() == whole.get()
+            assert merged.quantile(0.5) == whole.quantile(0.5)
+        else:
+            assert merged.count == 0 and math.isnan(merged.mean)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False), max_size=40
+        ),
+        split=st.integers(min_value=0, max_value=40),
+    )
+    def test_fixed_bucket_merge_of_shards_equals_single_stream(self, values, split):
+        from repro.telemetry.metrics import Histogram
+
+        buckets = (0.1, 0.5, 1.0)
+        shard_a, shard_b, whole = (Histogram(buckets=buckets) for _ in range(3))
+        for v in values[:split]:
+            shard_a.observe(v)
+        for v in values[split:]:
+            shard_b.observe(v)
+        for v in values:
+            whole.observe(v)
+        shard_a.merge(shard_b)
+        assert shard_a.counts == whole.counts
+        assert shard_a.count == whole.count
+        assert shard_a.total == pytest.approx(whole.total)
+        if whole.count:
+            assert shard_a.minimum == whole.minimum
+            assert shard_a.maximum == whole.maximum
+
 
 # ----------------------------------------------------------------------
 # Provenance
