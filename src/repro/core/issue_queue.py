@@ -17,7 +17,8 @@ for resource accounting.
 
 from __future__ import annotations
 
-from typing import Callable
+from bisect import insort
+from typing import Callable, Iterator
 
 from repro.isa.instruction import DynInst, DynState
 
@@ -42,6 +43,8 @@ class IssueQueue:
         "per_thread",
         "pred_ace_bits",
         "ready_pred_ace",
+        "_ready_ace_tags",
+        "_ready_plain_tags",
         "_bits_of",
         "_free_slots",
         "inserted",
@@ -66,6 +69,12 @@ class IssueQueue:
         self.pred_ace_bits = 0
         # Predicted-ACE instructions currently in the ready set (Fig. 2).
         self.ready_pred_ace = 0
+        # Age-ordered (ascending tag) views of the ready set, split by
+        # the predicted-ACE bit.  Maintained incrementally on every
+        # ready-set mutation so selection never re-sorts: oldest-first
+        # order is a two-list merge, VISA order is ace-then-plain.
+        self._ready_ace_tags: list[int] = []
+        self._ready_plain_tags: list[int] = []
         self._bits_of: Callable[[DynInst], int] = (
             bits_of if bits_of is not None else (lambda inst: 0)
         )
@@ -96,6 +105,58 @@ class IssueQueue:
         return self.per_thread[tid]
 
     # ------------------------------------------------------------------
+    # Age-ordered ready views
+    # ------------------------------------------------------------------
+    def _ready_add(self, inst: DynInst) -> None:
+        tags = self._ready_ace_tags if inst.ace_pred else self._ready_plain_tags
+        if not tags or inst.tag > tags[-1]:
+            tags.append(inst.tag)  # common case: youngest so far
+        else:
+            insort(tags, inst.tag)
+
+    def _ready_discard(self, inst: DynInst) -> None:
+        tags = self._ready_ace_tags if inst.ace_pred else self._ready_plain_tags
+        tags.remove(inst.tag)
+
+    def ready_tags_oldest(self) -> Iterator[int]:
+        """Ready tags in ascending (age) order: a merge of the two
+        maintained sorted lists.  Snapshots both lists first so the
+        caller may issue (mutating the ready set) while iterating."""
+        a = tuple(self._ready_ace_tags)
+        b = tuple(self._ready_plain_tags)
+        if not a:
+            return iter(b)
+        if not b:
+            return iter(a)
+
+        def merge() -> Iterator[int]:
+            i = j = 0
+            la, lb = len(a), len(b)
+            while i < la and j < lb:
+                if a[i] < b[j]:
+                    yield a[i]
+                    i += 1
+                else:
+                    yield b[j]
+                    j += 1
+            yield from a[i:]
+            yield from b[j:]
+
+        return merge()
+
+    def ready_tags_visa(self) -> Iterator[int]:
+        """Ready tags in VISA priority order: predicted-ACE tags (by
+        age) strictly before predicted-un-ACE tags (by age) — the same
+        total order as sorting by ``(not ace_pred, tag)``.  Snapshots
+        so the caller may issue while iterating."""
+
+        def chain(a: tuple[int, ...], b: tuple[int, ...]) -> Iterator[int]:
+            yield from a
+            yield from b
+
+        return chain(tuple(self._ready_ace_tags), tuple(self._ready_plain_tags))
+
+    # ------------------------------------------------------------------
     def insert(self, inst: DynInst, cycle: int) -> None:
         """Dispatch ``inst`` into the IQ.
 
@@ -114,6 +175,7 @@ class IssueQueue:
         else:
             inst.ready_cycle = cycle
             self.ready[inst.tag] = inst
+            self._ready_add(inst)
             if inst.ace_pred:
                 self.ready_pred_ace += 1
         self.per_thread[inst.thread] += 1
@@ -136,6 +198,7 @@ class IssueQueue:
                 del self.waiting[inst.tag]
                 inst.ready_cycle = cycle
                 self.ready[inst.tag] = inst
+                self._ready_add(inst)
                 if inst.ace_pred:
                     self.ready_pred_ace += 1
 
@@ -148,6 +211,7 @@ class IssueQueue:
                 f"state={inst.state.name} is not in the ready set ({where}); "
                 "only scheduler-selected ready instructions may issue"
             )
+        self._ready_discard(inst)
         self.per_thread[inst.thread] -= 1
         self.pred_ace_bits -= self._bits_of(inst)
         self._free_slots.append(inst.iq_slot)
@@ -175,14 +239,30 @@ class IssueQueue:
                     )
                 self.pred_ace_bits -= self._bits_of(inst)
                 self._free_slots.append(inst.iq_slot)
-                if is_ready_pool and inst.ace_pred:
-                    self.ready_pred_ace -= 1
+                if is_ready_pool:
+                    self._ready_discard(inst)
+                    if inst.ace_pred:
+                        self.ready_pred_ace -= 1
                 removed.append(inst)
-        # Squashed producers will never broadcast; drop their consumer
-        # lists (the consumers are younger in the same thread, so they
-        # are being squashed too).
+        consumers = self._consumers
         for inst in removed:
-            self._consumers.pop(inst.tag, None)
+            # Squashed producers will never broadcast; drop their
+            # consumer lists (the consumers are younger in the same
+            # thread, so they are being squashed too).
+            consumers.pop(inst.tag, None)
+            # Squashed *waiting* entries must also leave the consumer
+            # lists of their surviving producers, or dead references
+            # accumulate there until the producer completes.
+            for src in inst.src_tags:
+                lst = consumers.get(src)
+                if lst is None:
+                    continue
+                for k, c in enumerate(lst):
+                    if c is inst:
+                        del lst[k]
+                        break
+                if not lst:
+                    del consumers[src]
         self.squashed += len(removed)
         return removed
 
@@ -192,7 +272,8 @@ class IssueQueue:
         self._consumers.pop(tag, None)
 
     def ready_ages(self) -> list[DynInst]:
-        """Ready instructions in age (tag) order — CPython dict order is
-        insertion order and insertions happen in dispatch order, but
-        wakeups reorder, so sort by tag."""
-        return sorted(self.ready.values(), key=lambda i: i.tag)
+        """Ready instructions in age (tag) order — a merge of the two
+        maintained sorted tag lists (wakeups reorder the ready dict, so
+        its insertion order cannot be used directly)."""
+        ready = self.ready
+        return [ready[tag] for tag in self.ready_tags_oldest()]

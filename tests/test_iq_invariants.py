@@ -174,3 +174,58 @@ class TestInvariantErrors:
         with pytest.raises(IQInvariantError):
             iq.remove_issued(ghost)
         reconcile(iq)
+
+
+class TestConsumerListHygiene:
+    @settings(max_examples=150, deadline=None)
+    @given(ops=_ops)
+    def test_consumers_only_reference_waiting_entries(self, ops):
+        """Every instruction on any ``_consumers`` list is a *waiting*
+        resident of the queue.  ``squash_thread`` must prune squashed
+        waiting entries out of their surviving producers' consumer
+        lists; before it did, dead references accumulated there until
+        the producer completed (or forever, if it never did)."""
+        iq = IssueQueue(CAPACITY, NUM_THREADS, bits_of=bits_of)
+        next_tag = 1
+        cycle = 0
+        pending_producers = []
+        for op in ops:
+            cycle += 1
+            kind = op[0]
+            if kind == "insert":
+                _, thread, ace_pred, n_srcs = op
+                if iq.free_entries <= 0:
+                    continue
+                srcs = []
+                for _ in range(n_srcs):
+                    src = 1000 + next_tag
+                    srcs.append(src)
+                    pending_producers.append(src)
+                iq.insert(make_inst(next_tag, thread, srcs, ace_pred), cycle)
+                next_tag += 1
+            elif kind == "wakeup":
+                if not pending_producers:
+                    continue
+                tag = pending_producers.pop(op[1] % len(pending_producers))
+                iq.wakeup(tag, cycle)
+            elif kind == "issue":
+                ready = iq.ready_ages()
+                if not ready:
+                    continue
+                inst = ready[op[1] % len(ready)]
+                iq.remove_issued(inst)
+                inst.state = DynState.ISSUED
+            elif kind == "squash":
+                _, thread, pick = op
+                resident = sorted(list(iq.waiting) + list(iq.ready))
+                after_tag = resident[pick % len(resident)] if resident else 0
+                for inst in iq.squash_thread(thread, after_tag):
+                    inst.state = DynState.SQUASHED
+            for producer_tag, consumers in iq._consumers.items():
+                assert consumers, f"empty consumer list kept for {producer_tag}"
+                for c in consumers:
+                    assert c.tag in iq.waiting and iq.waiting[c.tag] is c, (
+                        f"consumer list of producer {producer_tag} references "
+                        f"tag={c.tag} state={c.state.name}, which is not a "
+                        "waiting IQ resident"
+                    )
